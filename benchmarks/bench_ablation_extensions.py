@@ -1,0 +1,77 @@
+"""Ablation A1: contribution of each inference extension.
+
+Runs the pipeline with each extension toggled independently over a
+sub-window and quantifies what it removes: the same-organization
+filter cuts the delegation count; the consistency rule cuts the daily
+variance.  (DESIGN.md §6, design-choice 3.)
+"""
+
+import datetime
+import statistics
+
+from repro.analysis.report import render_table
+from repro.delegation import ConsistencyRule, DelegationInference, InferenceConfig
+
+#: A shorter window keeps four full pipeline runs affordable, but long
+#: enough that unfillable edge-of-window gaps do not dominate the
+#: roughness comparison.
+WINDOW_DAYS = 200
+
+
+def _run(world, config):
+    start = world.config.bgp_start
+    end = start + datetime.timedelta(days=WINDOW_DAYS)
+    as2org = world.as2org() if config.same_org_filter else None
+    inference = DelegationInference(config, as2org)
+    result = inference.infer_range(world.stream(), start, end)
+    counts = [c for _d, c in result.counts_series()]
+    deltas = [abs(b - a) for a, b in zip(counts, counts[1:])]
+    # Roughness (mean day-over-day jump / level): isolates the on-off
+    # jitter from slow growth, like the Fig. 6 benchmark.
+    roughness = (sum(deltas) / len(deltas)) / statistics.mean(counts)
+    return statistics.mean(counts), roughness
+
+
+def test_ablation_extensions(benchmark, world, record_result):
+    configs = {
+        "baseline (i-iii)": InferenceConfig.baseline(),
+        "+ same-org (iv)": InferenceConfig(consistency_rule=None),
+        "+ consistency (v)": InferenceConfig(
+            same_org_filter=False,
+            consistency_rule=ConsistencyRule(10, 0),
+        ),
+        "extended (iv+v)": InferenceConfig.extended(),
+    }
+
+    def run_all():
+        return {name: _run(world, cfg) for name, cfg in configs.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base_mean, base_rough = results["baseline (i-iii)"]
+    orgf_mean, _orgf_rough = results["+ same-org (iv)"]
+    _cons_mean, cons_rough = results["+ consistency (v)"]
+    ext_mean, ext_rough = results["extended (iv+v)"]
+
+    # The same-org filter is what removes delegations ...
+    assert orgf_mean < 0.85 * base_mean
+    # ... and the consistency rule is what removes variance.
+    assert cons_rough < base_rough / 2
+    # Full extension stack combines both effects.  (The same-org filter
+    # removes only *steady* intra-org delegations, which shrinks the
+    # roughness denominator — hence the softer bound than for (v) alone.)
+    assert ext_mean < 0.85 * base_mean and ext_rough < base_rough * 0.75
+
+    rows = [
+        [name, f"{mean:.1f}", f"{rough:.4f}"]
+        for name, (mean, rough) in results.items()
+    ]
+    record_result(
+        "ablation_extensions",
+        render_table(
+            ["configuration", "mean #delegations", "daily roughness"],
+            rows,
+            title="A1 — per-extension contribution "
+                  f"(first {WINDOW_DAYS} days)",
+        ),
+    )

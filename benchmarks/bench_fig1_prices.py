@@ -1,0 +1,77 @@
+"""Fig. 1: evolution of price per IP by prefix size, region, quarter.
+
+Asserted shapes (§3): ≈2.9k transactions with the paper's per-quarter
+regional counts; prices doubled since 2016 to ≈$22.50; /24 blocks
+trade above /16 blocks; no statistically significant regional
+difference; consolidation begins in spring 2019.
+"""
+
+import datetime
+
+from repro.analysis.prices import (
+    consolidation_quarter,
+    doubling_factor,
+    mean_price_per_ip,
+    quarterly_price_stats,
+    regional_price_difference,
+)
+from repro.analysis.report import render_comparison
+from repro.registry.rir import RIR
+
+D = datetime.date
+
+
+def test_fig1_price_evolution(benchmark, world, record_result):
+    dataset = world.priced_transactions()
+
+    def analyze():
+        return (
+            quarterly_price_stats(dataset),
+            regional_price_difference(dataset),
+            doubling_factor(dataset),
+            mean_price_per_ip(dataset, D(2020, 1, 1), D(2020, 6, 25)),
+            consolidation_quarter(dataset),
+        )
+
+    stats, (h_stat, p_value), doubling, mean_2020, consolidation = (
+        benchmark.pedantic(analyze, rounds=1, iterations=1)
+    )
+
+    # Dataset size and per-quarter regional counts (paper: 2.9k total;
+    # APNIC 8-23, ARIN 83-196, RIPE 12-19 per quarter).
+    total = len(dataset)
+    assert 2500 <= total <= 3400
+    for (_year, _q), quarter_data in dataset.by_quarter().items():
+        counts = quarter_data.count_by_region()
+        assert 8 <= counts.get(RIR.APNIC, 8) <= 23
+        assert 83 <= counts.get(RIR.ARIN, 83) <= 196
+        assert 12 <= counts.get(RIR.RIPE, 12) <= 19
+
+    assert 1.8 <= doubling <= 2.3          # "prices have doubled since 2016"
+    assert abs(mean_2020 - 22.5) < 1.5     # "average ... around $22.50"
+    assert p_value > 0.01                  # no significant regional effect
+    assert consolidation is not None and consolidation[0] == 2019
+    # Size effect: /24 boxes sit above /16 boxes in 2020.
+    recent = [s for s in stats if s.year == 2020]
+    small = [s.stats.median for s in recent if s.bucket == "/24"]
+    large = [s.stats.median for s in recent if s.bucket == "/16"]
+    assert small and large
+    assert min(small) > max(large) * 0.95
+
+    record_result(
+        "fig1_prices",
+        render_comparison(
+            "Fig. 1 — price per IP (2016-01 .. 2020-06)",
+            [
+                ["transactions", "2.9k", total],
+                ["doubling factor since 2016", "~2.0", f"{doubling:.2f}"],
+                ["mean price 2020 ($/IP)", "22.50", f"{mean_2020:.2f}"],
+                ["regional difference p-value", "> 0.05 (n.s.)",
+                 f"{p_value:.3f}"],
+                ["consolidation starts", "spring 2019",
+                 f"{consolidation[0]} Q{consolidation[1]}"],
+                ["/24 vs /16 median (2020)", "/24 higher",
+                 f"{min(small):.2f} vs {max(large):.2f}"],
+            ],
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Fig. 2: number of market transfers per region (3-month bins).
+
+Asserted shapes: each regional market starts once its RIR reaches the
+last /8; AFRINIC/LACNIC stay negligible; RIPE shows year-end peaks;
+the M&A filter only bites where the feed labels M&A.
+"""
+
+from repro.analysis.report import render_comparison
+from repro.analysis.transfers import (
+    market_starts_after_last_slash8,
+    seasonal_ratio,
+    transfer_counts,
+)
+from repro.registry.rir import RIR
+
+
+def test_fig2_market_transfers(benchmark, world, record_result):
+    ledger = world.transfer_ledger()
+
+    def analyze():
+        return (
+            transfer_counts(ledger),
+            market_starts_after_last_slash8(ledger),
+        )
+
+    counts, alignment = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    assert all(alignment.values()), f"market-start misalignment: {alignment}"
+    totals = {
+        rir: sum(c for _d, c in series) for rir, series in counts.items()
+    }
+    # AFRINIC and LACNIC negligible next to the big three.
+    assert totals[RIR.AFRINIC] + totals[RIR.LACNIC] < totals[RIR.ARIN] / 10
+    ripe_q4 = seasonal_ratio(counts[RIR.RIPE])
+    assert ripe_q4 > 1.2, "RIPE year-end pattern missing"
+    # Counts fluctuate (the market is in flux): non-trivial spread.
+    arin_series = [c for _d, c in counts[RIR.ARIN] if c > 0]
+    assert max(arin_series) > 1.3 * min(arin_series)
+
+    record_result(
+        "fig2_transfers",
+        render_comparison(
+            "Fig. 2 — market transfers per region (3-month bins)",
+            [
+                ["market starts at last /8", "all regions", "all regions"],
+                ["AFRINIC+LACNIC total", "negligible",
+                 totals[RIR.AFRINIC] + totals[RIR.LACNIC]],
+                ["APNIC total", "-", totals[RIR.APNIC]],
+                ["ARIN total", "-", totals[RIR.ARIN]],
+                ["RIPE total", "-", totals[RIR.RIPE]],
+                ["RIPE Q4/other ratio", "> 1 (year-end peaks)",
+                 f"{ripe_q4:.2f}"],
+            ],
+        ),
+    )

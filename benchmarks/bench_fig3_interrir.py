@@ -1,0 +1,56 @@
+"""Fig. 3: inter-RIR transactions by origin and destination.
+
+Asserted shapes (§3): only APNIC/ARIN/RIPE participate; counts grow
+continuously while blocks shrink; ARIN is the dominant source, feeding
+APNIC and RIPE.
+"""
+
+from repro.analysis.interrir import (
+    blocks_shrink,
+    counts_increase,
+    inter_rir_flows,
+    inter_rir_trend,
+    net_flow_by_rir,
+)
+from repro.analysis.report import render_comparison
+from repro.registry.rir import RIR
+
+
+def test_fig3_inter_rir(benchmark, world, record_result):
+    ledger = world.transfer_ledger()
+
+    def analyze():
+        return (
+            inter_rir_flows(ledger),
+            inter_rir_trend(ledger),
+            net_flow_by_rir(ledger),
+        )
+
+    flows, trend, net = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    participants = {r for pair in flows for r in pair}
+    assert participants <= {RIR.APNIC, RIR.ARIN, RIR.RIPE}
+    assert counts_increase(trend)
+    assert blocks_shrink(trend)
+    arin_out = sum(c for (src, _dst), c in flows.items() if src is RIR.ARIN)
+    assert arin_out > sum(flows.values()) * 0.5
+    assert net[RIR.ARIN] < 0 < net[RIR.RIPE]
+
+    record_result(
+        "fig3_interrir",
+        render_comparison(
+            "Fig. 3 — inter-RIR transfers (2012..2020)",
+            [
+                ["participants", "APNIC/ARIN/RIPE only",
+                 "/".join(sorted(r.display_name for r in participants))],
+                ["yearly counts", "continuously increase",
+                 f"{trend[0].count} -> {trend[-1].count}"],
+                ["mean block length", "blocks get smaller",
+                 f"/{trend[0].mean_block_length:.1f} -> "
+                 f"/{trend[-1].mean_block_length:.1f}"],
+                ["dominant source", "ARIN",
+                 f"ARIN {arin_out}/{sum(flows.values())}"],
+                ["ARIN net addresses", "strongly negative", net[RIR.ARIN]],
+            ],
+        ),
+    )

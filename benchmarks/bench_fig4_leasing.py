@@ -1,0 +1,56 @@
+"""Fig. 4: advertised leasing prices (2019-10-26 .. 2020-06-01).
+
+Asserted shapes (§4): 12 providers initially, 21 at the final scrape;
+prices span $0.30–$2.33 per IP per month; exactly Heficed, IPv4Mall,
+and IP-AS changed prices; IP-AS's January test exceeded the floor by
+more than 10x; no structural difference between pure leasing and
+hosting-bundled providers.
+"""
+
+import datetime
+
+from repro.analysis.leasing_prices import summarize_leasing_prices
+from repro.analysis.report import render_comparison
+from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
+
+
+def test_fig4_leasing_prices(benchmark, world, record_result):
+    log = world.scrape_log()
+
+    summary = benchmark.pedantic(
+        summarize_leasing_prices,
+        args=(log, FIRST_SCRAPE, SECOND_WAVE),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert summary.provider_count == 21
+    assert abs(summary.min_price - 0.30) < 1e-9
+    assert summary.max_price == 3.90  # the January market test peak
+    final_prices = [
+        p.advertised_price(SECOND_WAVE) for p in log.providers()
+    ]
+    assert max(final_prices) == 2.33
+    assert set(summary.changed_providers) == {"Heficed", "IPv4Mall", "IP-AS"}
+    assert summary.max_spike_ratio > 10
+    assert summary.bundled_vs_pure_pvalue > 0.05
+    assert not summary.converged
+
+    record_result(
+        "fig4_leasing",
+        render_comparison(
+            "Fig. 4 — advertised leasing prices (/24, one month)",
+            [
+                ["providers scraped", "12 -> 21", summary.provider_count],
+                ["price range ($/IP/month)", "0.30 - 2.33",
+                 f"{summary.min_price:.2f} - {max(final_prices):.2f}"],
+                ["providers that changed price",
+                 "Heficed, IPv4Mall, IP-AS",
+                 ", ".join(summary.changed_providers)],
+                ["IP-AS January test vs floor", "> 10x",
+                 f"{summary.max_spike_ratio:.1f}x"],
+                ["bundled vs pure difference", "none (market unconverged)",
+                 f"p={summary.bundled_vs_pure_pvalue:.3f}"],
+            ],
+        ),
+    )

@@ -1,0 +1,56 @@
+"""§6: buy-versus-lease amortization.
+
+Asserted shapes: with the measured 2020 buy price and the Fig. 4 lease
+price range, amortization spans from under a year to multiple tens of
+years, with a broker-typical case of two to three years.
+"""
+
+import datetime
+import math
+
+from repro.analysis.prices import mean_price_per_ip
+from repro.analysis.report import render_comparison
+from repro.market.amortization import amortization_grid, summarize_grid
+from repro.market.leasing import SECOND_WAVE
+
+D = datetime.date
+
+
+def test_sec6_amortization(benchmark, world, record_result):
+    buy_price = mean_price_per_ip(
+        world.priced_transactions(), D(2020, 1, 1), D(2020, 6, 25)
+    )
+    lease_prices = [
+        provider.advertised_price(SECOND_WAVE)
+        for provider in world.leasing_providers()
+    ]
+
+    def analyze():
+        grid = amortization_grid(buy_price, lease_prices)
+        return grid, summarize_grid(grid)
+
+    grid, summary = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    assert summary["min_months"] < 12            # "less than a year"
+    assert summary["max_months"] > 240           # "multiple tens of years"
+    assert summary["max_months"] / 12 > 20
+    assert 12 < summary["median_months"] < 60    # brokers: 2-3 years typical
+    never = sum(1 for s in grid if math.isinf(s.months()))
+    assert never > 0  # cheap leases + small-holder fees never amortize
+
+    record_result(
+        "sec6_amortization",
+        render_comparison(
+            "§6 — buy-vs-lease amortization",
+            [
+                ["buy price used ($/IP)", "~22.50", f"{buy_price:.2f}"],
+                ["fastest amortization", "< 1 year",
+                 f"{summary['min_months']:.1f} months"],
+                ["slowest finite amortization", "up to ~36 years",
+                 f"{summary['max_months'] / 12:.1f} years"],
+                ["median scenario", "2-3 years (broker average)",
+                 f"{summary['median_months'] / 12:.1f} years"],
+                ["scenarios that never amortize", "> 0", never],
+            ],
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Table 1: the IPv4 exhaustion timeline of the five RIRs.
+
+The pool-drawdown simulator (calibrated demand, genuine pool/policy
+machinery) must land each RIR's last-/8 and depletion dates within a
+month of the historical record.
+"""
+
+from repro.analysis.report import render_table
+from repro.registry.rir import RIR, profile_for
+from repro.simulation.exhaustion import simulate_all
+
+
+def test_table1_exhaustion_timeline(benchmark, record_result):
+    reports = benchmark.pedantic(simulate_all, rounds=1, iterations=1)
+
+    rows = []
+    for rir in RIR:
+        profile = profile_for(rir)
+        report = reports[rir]
+        assert report.matches_profile(profile, tolerance_days=31), (
+            f"{rir.display_name}: simulated {report.last_slash8_date} / "
+            f"{report.depletion_date} vs Table 1 "
+            f"{profile.last_slash8_date} / {profile.depletion_date}"
+        )
+        rows.append([
+            profile.rir.display_name,
+            profile.last_slash8_date,
+            report.last_slash8_date,
+            profile.depletion_date or "- (not depleted)",
+            report.depletion_date or "- (not depleted)",
+        ])
+    # The two non-depleted RIRs must still hold roughly the space the
+    # paper reports (APNIC part of a /10, AFRINIC part of a /11).
+    assert reports[RIR.APNIC].remaining_addresses > (1 << 21)
+    assert reports[RIR.AFRINIC].remaining_addresses > (1 << 20)
+
+    record_result(
+        "table1_exhaustion",
+        render_table(
+            ["RIR", "last /8 (paper)", "last /8 (sim)",
+             "depleted (paper)", "depleted (sim)"],
+            rows,
+            title="Table 1 — IPv4 exhaustion timeline",
+        ),
+    )

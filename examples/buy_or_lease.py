@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Buy-or-lease advisor: the paper's §6 economics, made actionable.
+
+Given a needed block size and a time horizon, compares buying (market
+price + RIR maintenance fees) against every leasing provider's current
+offer, and prints the break-even horizon per provider.
+
+Run with::
+
+    python examples/buy_or_lease.py [prefix_length] [horizon_years]
+"""
+
+import datetime
+import math
+import sys
+
+from repro.analysis.prices import mean_price_per_ip
+from repro.analysis.report import render_table
+from repro.market.amortization import AmortizationScenario
+from repro.registry.rir import RIR
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+def main() -> None:
+    prefix_length = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    horizon_years = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    world = World(small_scenario())
+    buy_price = mean_price_per_ip(
+        world.priced_transactions(), D(2020, 1, 1), D(2020, 6, 25)
+    )
+    addresses = 1 << (32 - prefix_length)
+    today = D(2020, 6, 1)
+
+    print(f"need: a /{prefix_length} ({addresses} addresses) "
+          f"for {horizon_years:.0f} years")
+    print(f"buying: ${buy_price:.2f}/IP -> "
+          f"${buy_price * addresses:,.0f} up front (plus RIR fees)\n")
+
+    rows = []
+    for provider in sorted(
+        world.leasing_providers(),
+        key=lambda p: p.advertised_price(today) or math.inf,
+    ):
+        price = provider.advertised_price(today)
+        if price is None:
+            continue
+        scenario = AmortizationScenario(
+            rir=RIR.RIPE,
+            block_length=prefix_length,
+            buy_price_per_ip=buy_price,
+            lease_price_per_ip_month=price,
+        )
+        months = scenario.months()
+        monthly = provider.monthly_cost(prefix_length, today)
+        if math.isinf(months):
+            breakeven = "never (fees eat the saving)"
+            verdict = "lease"
+        else:
+            breakeven = f"{months / 12:.1f} years"
+            verdict = "buy" if months <= horizon_years * 12 else "lease"
+        rows.append([
+            provider.name,
+            f"${price:.2f}",
+            f"${monthly:,.0f}",
+            "hosting bundle" if provider.bundles_hosting else "pure lease",
+            breakeven,
+            verdict,
+        ])
+
+    print(render_table(
+        ["provider", "$/IP/mo", "monthly", "model", "break-even vs buy",
+         f"verdict @{horizon_years:.0f}y"],
+        rows,
+        title="Leasing offers vs buying (RIPE fee schedule)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

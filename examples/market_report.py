@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A full market report: the paper's §3 analyses as readable tables.
+
+Run with::
+
+    python examples/market_report.py
+"""
+
+import datetime
+
+from repro.analysis.interrir import inter_rir_flows, inter_rir_trend
+from repro.analysis.prices import (
+    consolidation_quarter,
+    quarterly_price_stats,
+    regional_price_difference,
+)
+from repro.analysis.report import render_table
+from repro.analysis.transfers import market_start_dates, transfer_counts
+from repro.registry.rir import RIR, profile_for
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+def price_section(world: World) -> None:
+    dataset = world.priced_transactions()
+    print(render_table(
+        ["quarter", "bucket", "n", "median $/IP", "IQR"],
+        [
+            [f"{s.year} Q{s.quarter}", s.bucket, s.stats.count,
+             f"{s.stats.median:.2f}",
+             f"{s.stats.q1:.2f}-{s.stats.q3:.2f}"]
+            for s in quarterly_price_stats(dataset)
+            if s.year >= 2019
+        ],
+        title="Prices per IP by size bucket (2019+)",
+    ))
+    h_stat, p_value = regional_price_difference(dataset)
+    print(f"\nregional price difference: H={h_stat:.2f}, p={p_value:.3f} "
+          f"({'not ' if p_value > 0.05 else ''}significant)")
+    quarter = consolidation_quarter(dataset)
+    if quarter:
+        print(f"consolidation phase detected from: {quarter[0]} Q{quarter[1]}")
+
+
+def transfer_section(world: World) -> None:
+    ledger = world.transfer_ledger()
+    counts = transfer_counts(ledger)
+    starts = market_start_dates(ledger)
+    rows = []
+    for rir in RIR:
+        total = sum(c for _d, c in counts[rir])
+        rows.append([
+            rir.display_name,
+            profile_for(rir).last_slash8_date,
+            starts[rir] or "- (no market)",
+            total,
+        ])
+    print("\n" + render_table(
+        ["RIR", "last /8", "market start", "market transfers"],
+        rows,
+        title="Regional transfer markets",
+    ))
+
+
+def inter_rir_section(world: World) -> None:
+    ledger = world.transfer_ledger()
+    flows = inter_rir_flows(ledger)
+    print("\n" + render_table(
+        ["flow", "transfers"],
+        [
+            [f"{src.display_name} -> {dst.display_name}", count]
+            for (src, dst), count in sorted(
+                flows.items(), key=lambda kv: -kv[1]
+            )
+        ],
+        title="Inter-RIR flows",
+    ))
+    trend = inter_rir_trend(ledger)
+    print("\n" + render_table(
+        ["year", "count", "mean block"],
+        [[t.year, t.count, f"/{t.mean_block_length:.1f}"] for t in trend],
+        title="Inter-RIR trend (counts up, blocks down)",
+    ))
+
+
+def main() -> None:
+    world = World(small_scenario())
+    price_section(world)
+    transfer_section(world)
+    inter_rir_section(world)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: build a world, infer delegations, summarize the market.
+
+Run with::
+
+    python examples/quickstart.py
+
+Everything is deterministic; the whole script takes a few seconds.
+"""
+
+import datetime
+
+from repro.analysis.prices import doubling_factor, mean_price_per_ip
+from repro.delegation import DelegationInference, InferenceConfig
+from repro.simulation import World, small_scenario
+
+
+def main() -> None:
+    # 1. A synthetic internet: orgs, topology, markets, registries.
+    world = World(small_scenario())
+    config = world.config
+    print(f"world: {len(world.lirs())} LIRs, "
+          f"{len(world.customers())} customer orgs, "
+          f"{len(world.topology())} ASes, "
+          f"{world.stream().monitor_count()} BGP monitors")
+
+    # 2. Run the paper's delegation-inference pipeline over the window.
+    inference = DelegationInference(InferenceConfig.extended(), world.as2org())
+    result = inference.infer_range(
+        world.stream(), config.bgp_start, config.bgp_end
+    )
+    first_date = result.observation_dates[0]
+    last_date = result.observation_dates[-1]
+    print(f"\nBGP delegations ({first_date} .. {last_date}):")
+    print(f"  first day: {result.daily.count_on(first_date)} delegations, "
+          f"{result.daily.addresses_on(first_date)} addresses")
+    print(f"  last day:  {result.daily.count_on(last_date)} delegations, "
+          f"{result.daily.addresses_on(last_date)} addresses")
+
+    # 3. What does buying cost right now?
+    dataset = world.priced_transactions()
+    mean_2020 = mean_price_per_ip(
+        dataset, datetime.date(2020, 1, 1), datetime.date(2020, 6, 25)
+    )
+    print(f"\ntransfer market: {len(dataset)} priced transactions")
+    print(f"  mean 2020 price: ${mean_2020:.2f} per IP "
+          f"({doubling_factor(dataset):.1f}x the 2016 level)")
+
+    # 4. And leasing?
+    prices = [
+        provider.advertised_price(datetime.date(2020, 6, 1))
+        for provider in world.leasing_providers()
+    ]
+    print(f"leasing market: {len(prices)} providers, "
+          f"${min(prices):.2f} - ${max(prices):.2f} per IP per month")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""An RIR registry walkthrough: §2's lifecycle on a live registry.
+
+Follows three organizations through the RIPE NCC of 2019/2020:
+membership, the last pre-exhaustion allocation, the waiting list,
+recovery + quarantine, an intra-RIR purchase, and an inter-RIR
+transfer from ARIN.
+
+Run with::
+
+    python examples/registry_lifecycle.py
+"""
+
+import datetime
+
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry import RIR, RegistrySystem
+from repro.registry.transfers import TransferType
+
+D = datetime.date
+
+
+def main() -> None:
+    system = RegistrySystem({
+        RIR.RIPE: [IPv4Prefix.parse("185.0.0.0/22")],  # nearly empty pool
+        RIR.ARIN: [IPv4Prefix.parse("8.0.0.0/16")],
+    })
+    ripe = system[RIR.RIPE]
+    arin = system[RIR.ARIN]
+
+    # 2019: a hoster joins while RIPE still has crumbs.
+    ripe.open_membership("hoster-eu", D(2019, 10, 1))
+    decision, block = ripe.request_allocation("hoster-eu", D(2019, 10, 2))
+    print(f"2019-10-02 hoster-eu: {decision.reason} -> {block}")
+
+    # Late 2019: RIPE depletes; a startup lands on the waiting list.
+    for _ in range(3):
+        ripe.open_membership(f"filler-{_}", D(2019, 10, 3))
+        ripe.request_allocation(f"filler-{_}", D(2019, 10, 4))
+    ripe.open_membership("startup", D(2020, 1, 10))
+    decision, block = ripe.request_allocation("startup", D(2020, 1, 11))
+    print(f"2020-01-11 startup:  {decision.reason} -> {block}")
+    print(f"           waiting list length: {len(ripe.waiting_list)}")
+
+    # An old LIR closes; its space is recovered into quarantine.
+    ripe.open_membership("legacy-org", D(2015, 1, 1))
+    ripe.register_external_block(
+        "legacy-org", IPv4Prefix.parse("193.5.0.0/24")
+    )
+    recovered = ripe.close_membership("legacy-org", D(2020, 1, 20))
+    print(f"2020-01-20 legacy-org closed; recovered {recovered}, "
+          f"quarantined for {ripe.quarantine.holding_days} days")
+
+    # Quarantine matures ~6 months later; the waiting list drains.
+    fulfilled = ripe.tick(D(2020, 7, 25))
+    for org, block in fulfilled:
+        print(f"2020-07-25 waiting list fulfilled: {org} <- {block}")
+
+    # Meanwhile the startup buys more space on the market.
+    ripe.open_membership("seller", D(2018, 1, 1))
+    ripe.register_external_block("seller", IPv4Prefix.parse("194.10.0.0/23"))
+    record = ripe.transfer(
+        D(2020, 8, 1), [IPv4Prefix.parse("194.10.0.0/23")],
+        "seller", "startup",
+        true_type=TransferType.MARKET,
+        price_per_address=22.5,
+    )
+    print(f"2020-08-01 market transfer {record.transfer_id}: "
+          f"{record.addresses} addresses at ${record.price_per_address}/IP")
+
+    # And an ARIN org moves space into the RIPE region.
+    arin.open_membership("us-seller", D(2015, 1, 1))
+    arin.register_external_block("us-seller", IPv4Prefix.parse("8.0.4.0/24"))
+    record = system.inter_rir_transfer(
+        D(2020, 9, 1), [IPv4Prefix.parse("8.0.4.0/24")],
+        "us-seller", RIR.ARIN, "startup", RIR.RIPE,
+    )
+    region = system.maintaining_rir(IPv4Prefix.parse("8.0.4.0/24"))
+    print(f"2020-09-01 inter-RIR transfer: 8.0.4.0/24 now maintained by "
+          f"{region.display_name}")
+
+    # The published feeds carry everything, with the M&A labels RIPE uses.
+    feed = system.ledger.feed_for(RIR.RIPE)
+    print(f"\nRIPE transfer feed now lists {len(feed['transfers'])} records")
+    annual = ripe.members.annual_fee("startup")
+    print(f"startup's annual RIPE bill: ${annual:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

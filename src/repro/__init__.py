@@ -1,0 +1,19 @@
+"""Reproduction of "When Wells Run Dry: The 2020 IPv4 Address Market".
+
+The package is organized in three layers:
+
+- **substrates** that stand in for the paper's data sources:
+  :mod:`repro.netbase`, :mod:`repro.registry`, :mod:`repro.whois`,
+  :mod:`repro.rdap`, :mod:`repro.bgp`, :mod:`repro.rpki`,
+  :mod:`repro.asorg`, :mod:`repro.market`, :mod:`repro.simulation`;
+- the paper's **core contribution**: :mod:`repro.delegation` (BGP/RDAP
+  delegation inference) and :mod:`repro.analysis` (market analyses);
+- :mod:`repro.datasets` glue that generates and loads every file format.
+
+See ``DESIGN.md`` for the full system inventory and the per-experiment
+index, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

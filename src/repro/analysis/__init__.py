@@ -1,0 +1,78 @@
+"""The paper's analyses: one module per evaluation artifact.
+
+- :mod:`~repro.analysis.stats` — box statistics and significance tests,
+- :mod:`~repro.analysis.prices` — Fig. 1 (price per IP by size, region,
+  quarter; regional-difference test; consolidation detection),
+- :mod:`~repro.analysis.transfers` — Fig. 2 (market transfers per
+  region per quarter, with M&A removal where the feed labels it),
+- :mod:`~repro.analysis.interrir` — Fig. 3 (inter-RIR flows),
+- :mod:`~repro.analysis.leasing_prices` — Fig. 4 (advertised leasing
+  price series),
+- :mod:`~repro.analysis.market_size` — §4 market-size estimation,
+- :mod:`~repro.analysis.report` — plain-text table rendering.
+"""
+
+from repro.analysis.fig_data import (
+    export_fig1_prices,
+    export_fig2_transfers,
+    export_fig4_leasing,
+    export_fig5_rules,
+    export_fig6_series,
+)
+from repro.analysis.interrir import InterRirYear, inter_rir_flows, inter_rir_trend
+from repro.analysis.leasing_prices import (
+    LeasingPriceSummary,
+    price_changes,
+    provider_series,
+    summarize_leasing_prices,
+)
+from repro.analysis.market_size import MarketSizeEstimate, estimate_market_size
+from repro.analysis.mna_heuristic import (
+    HeuristicEvaluation,
+    MnaHeuristic,
+    MnaHeuristicConfig,
+    corrected_market_counts,
+    evaluate_heuristic,
+    parameter_sensitivity,
+)
+from repro.analysis.prices import (
+    PriceQuarter,
+    consolidation_quarter,
+    doubling_factor,
+    quarterly_price_stats,
+    regional_price_difference,
+)
+from repro.analysis.stats import BoxStats, kruskal_wallis
+from repro.analysis.transfers import market_start_dates, transfer_counts
+
+__all__ = [
+    "BoxStats",
+    "HeuristicEvaluation",
+    "InterRirYear",
+    "MnaHeuristic",
+    "MnaHeuristicConfig",
+    "corrected_market_counts",
+    "evaluate_heuristic",
+    "export_fig1_prices",
+    "export_fig2_transfers",
+    "export_fig4_leasing",
+    "export_fig5_rules",
+    "export_fig6_series",
+    "parameter_sensitivity",
+    "LeasingPriceSummary",
+    "MarketSizeEstimate",
+    "PriceQuarter",
+    "consolidation_quarter",
+    "doubling_factor",
+    "estimate_market_size",
+    "inter_rir_flows",
+    "inter_rir_trend",
+    "kruskal_wallis",
+    "market_start_dates",
+    "price_changes",
+    "provider_series",
+    "quarterly_price_stats",
+    "regional_price_difference",
+    "summarize_leasing_prices",
+    "transfer_counts",
+]

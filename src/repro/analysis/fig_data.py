@@ -1,0 +1,127 @@
+"""Export figure data series as CSV files, ready for plotting.
+
+The benchmarks assert the *shapes*; this module exports the underlying
+series so any plotting tool can redraw the paper's figures from the
+reproduction.  One function per figure, each returning the path it
+wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+import pathlib
+from typing import Union
+
+from repro.analysis.leasing_prices import provider_series
+from repro.analysis.prices import quarterly_price_stats
+from repro.analysis.transfers import transfer_counts
+from repro.delegation.inference import InferenceResult
+from repro.delegation.rpki_eval import RuleEvaluation, fail_rate_curves
+from repro.market.leasing import ScrapeLog
+from repro.market.transactions import TransactionDataset
+from repro.registry.rir import RIR
+from repro.registry.transfers import TransferLedger
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _write(path: PathLike, header, rows) -> str:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    path.write_text(buffer.getvalue(), encoding="utf-8")
+    return str(path)
+
+
+def export_fig1_prices(
+    dataset: TransactionDataset, path: PathLike
+) -> str:
+    """Quarterly box statistics per size bucket and region."""
+    rows = []
+    for entry in quarterly_price_stats(dataset, by_region=True):
+        stats = entry.stats
+        rows.append([
+            entry.year, entry.quarter, entry.bucket,
+            entry.region.value if entry.region else "all",
+            stats.count, f"{stats.minimum:.2f}", f"{stats.q1:.2f}",
+            f"{stats.median:.2f}", f"{stats.q3:.2f}",
+            f"{stats.maximum:.2f}",
+        ])
+    return _write(
+        path,
+        ["year", "quarter", "bucket", "region", "n",
+         "min", "q1", "median", "q3", "max"],
+        rows,
+    )
+
+
+def export_fig2_transfers(ledger: TransferLedger, path: PathLike) -> str:
+    """Per-region market-transfer counts in 3-month bins."""
+    rows = []
+    for rir, series in transfer_counts(ledger).items():
+        for bin_start, count in series:
+            rows.append([rir.value, bin_start.isoformat(), count])
+    rows.sort()
+    return _write(path, ["region", "bin_start", "transfers"], rows)
+
+
+def export_fig4_leasing(
+    log: ScrapeLog,
+    start: datetime.date,
+    end: datetime.date,
+    path: PathLike,
+    *,
+    step_days: int = 7,
+) -> str:
+    """Advertised leasing price series per provider."""
+    records = log.scrape_series(start, end, step_days)
+    if not any(record.date == end for record in records):
+        records.extend(log.scrape(end))
+    rows = []
+    for provider, points in sorted(provider_series(records).items()):
+        for date, price in points:
+            rows.append([provider, date.isoformat(), f"{price:.2f}"])
+    return _write(path, ["provider", "date", "price_per_ip_month"], rows)
+
+
+def export_fig5_rules(
+    evaluations: "list[RuleEvaluation]", path: PathLike
+) -> str:
+    """Fail-rate curves: one row per (N, M) point."""
+    rows = []
+    for allowed_missing, series in sorted(
+        fail_rate_curves(evaluations).items()
+    ):
+        for span, rate in series:
+            rows.append([allowed_missing, span, f"{rate:.6f}"])
+    return _write(path, ["N_allowed_missing", "M_span_days", "fail_rate"],
+                  rows)
+
+
+def export_fig6_series(
+    extended: InferenceResult,
+    baseline: InferenceResult,
+    path: PathLike,
+) -> str:
+    """Daily delegation counts and addresses, both algorithms."""
+    base_counts = dict(baseline.counts_series())
+    base_addresses = dict(baseline.addresses_series())
+    rows = []
+    for (date, count), (_d, addresses) in zip(
+        extended.counts_series(), extended.addresses_series()
+    ):
+        rows.append([
+            date.isoformat(), count, addresses,
+            base_counts.get(date, ""), base_addresses.get(date, ""),
+        ])
+    return _write(
+        path,
+        ["date", "extended_count", "extended_addresses",
+         "baseline_count", "baseline_addresses"],
+        rows,
+    )

@@ -1,0 +1,90 @@
+"""Fig. 3: inter-RIR transfers by origin and destination.
+
+§3's observations: the number of inter-RIR transfers continuously
+increases, the transferred blocks get smaller, and most transfers move
+space away from ARIN toward APNIC or the RIPE NCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.registry.rir import RIR
+from repro.registry.transfers import TransferLedger
+
+
+@dataclass(frozen=True)
+class InterRirYear:
+    """One year's inter-RIR aggregate."""
+
+    year: int
+    count: int
+    addresses: int
+    mean_block_length: float
+
+
+def inter_rir_flows(
+    ledger: TransferLedger,
+) -> Dict[Tuple[RIR, RIR], int]:
+    """(source, destination) → transfer count."""
+    flows: Dict[Tuple[RIR, RIR], int] = {}
+    for record in ledger.inter_rir():
+        key = (record.source_rir, record.recipient_rir)
+        flows[key] = flows.get(key, 0) + 1
+    return flows
+
+
+def inter_rir_trend(ledger: TransferLedger) -> List[InterRirYear]:
+    """Yearly count and size aggregates, oldest first."""
+    by_year: Dict[int, List] = {}
+    for record in ledger.inter_rir():
+        by_year.setdefault(record.date.year, []).append(record)
+    trend: List[InterRirYear] = []
+    for year in sorted(by_year):
+        records = by_year[year]
+        lengths = [r.largest_block_length for r in records]
+        trend.append(
+            InterRirYear(
+                year=year,
+                count=len(records),
+                addresses=sum(r.addresses for r in records),
+                mean_block_length=sum(lengths) / len(lengths),
+            )
+        )
+    return trend
+
+
+def net_flow_by_rir(ledger: TransferLedger) -> Dict[RIR, int]:
+    """Addresses gained minus lost via inter-RIR transfers per RIR.
+
+    ARIN's value should be strongly negative (the dominant source).
+    """
+    net: Dict[RIR, int] = {}
+    for record in ledger.inter_rir():
+        net[record.source_rir] = (
+            net.get(record.source_rir, 0) - record.addresses
+        )
+        net[record.recipient_rir] = (
+            net.get(record.recipient_rir, 0) + record.addresses
+        )
+    return net
+
+
+def counts_increase(trend: List[InterRirYear]) -> bool:
+    """Fig. 3 claim: counts grow (first-to-last and on average)."""
+    if len(trend) < 2:
+        return False
+    if trend[-1].count <= trend[0].count:
+        return False
+    rises = sum(
+        1 for a, b in zip(trend, trend[1:]) if b.count >= a.count
+    )
+    return rises >= (len(trend) - 1) * 0.6
+
+
+def blocks_shrink(trend: List[InterRirYear]) -> bool:
+    """Fig. 3 claim: transferred blocks get smaller over the years."""
+    if len(trend) < 2:
+        return False
+    return trend[-1].mean_block_length > trend[0].mean_block_length

@@ -1,0 +1,69 @@
+"""§4: estimating the size of the leasing market.
+
+The paper's conclusion: BGP and RDAP delegations are complementary —
+BGP captures usage, RDAP the administrative record — and neither alone
+sees the whole market.  The estimator combines both: the union of
+delegated address space, with the mutual coverage report explaining
+how much each source contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.delegation.compare import CoverageReport, compare_delegations
+from repro.delegation.model import RdapDelegation
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.prefixset import address_count
+
+
+@dataclass(frozen=True)
+class MarketSizeEstimate:
+    """Combined leasing-market size estimate."""
+
+    coverage: CoverageReport
+    bgp_only_addresses: int
+    rdap_only_addresses: int
+    combined_addresses: int
+
+    @property
+    def bgp_alone_underestimates_by(self) -> float:
+        """Factor by which BGP alone undershoots the combined estimate."""
+        if self.coverage.bgp_addresses == 0:
+            return float("inf")
+        return self.combined_addresses / self.coverage.bgp_addresses
+
+    def summary_lines(self) -> List[str]:
+        lines = list(self.coverage.summary_lines())
+        lines.append(
+            f"Combined market size: {self.combined_addresses} addresses "
+            f"({self.bgp_alone_underestimates_by:.1f}x the BGP-only view)"
+        )
+        return lines
+
+
+def estimate_market_size(
+    bgp_prefixes: Iterable[IPv4Prefix],
+    rdap_delegations: Iterable[RdapDelegation],
+) -> MarketSizeEstimate:
+    """Combine both delegation views into one market-size estimate."""
+    bgp = list(set(bgp_prefixes))
+    rdap_list = list(rdap_delegations)
+    coverage = compare_delegations(bgp, rdap_list)
+    rdap_prefixes: List[IPv4Prefix] = []
+    for delegation in rdap_list:
+        rdap_prefixes.extend(delegation.prefixes())
+    combined = address_count(bgp + rdap_prefixes)
+    overlap_on_rdap = round(
+        coverage.bgp_over_rdap * coverage.rdap_addresses
+    )
+    overlap_on_bgp = round(
+        coverage.rdap_over_bgp * coverage.bgp_addresses
+    )
+    return MarketSizeEstimate(
+        coverage=coverage,
+        bgp_only_addresses=coverage.bgp_addresses - overlap_on_bgp,
+        rdap_only_addresses=coverage.rdap_addresses - overlap_on_rdap,
+        combined_addresses=combined,
+    )

@@ -1,0 +1,166 @@
+"""Fig. 1: price-per-IP analysis of the transaction dataset.
+
+Reproduces every statistic §3 derives from the broker data:
+
+- box stats per (size bucket, region, quarter) — the Fig. 1 panels,
+- the regional-difference test ("no statistically significant
+  difference in pricing across the regions"),
+- the doubling factor since 2016,
+- consolidation detection (flat median + collapsed variance from
+  spring 2019).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import BoxStats, box_stats, coefficient_of_variation, kruskal_wallis
+from repro.market.transactions import TransactionDataset
+from repro.registry.rir import RIR
+
+#: Fig. 1 size buckets: small blocks individually, mid-range grouped.
+SIZE_BUCKETS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("/24", (24,)),
+    ("/23", (23,)),
+    ("/22", (22,)),
+    ("/21-/17", (21, 20, 19, 18, 17)),
+    ("/16", (16,)),
+)
+
+#: The three regions with vibrant markets (AFRINIC/LACNIC excluded).
+CORE_REGIONS: Tuple[RIR, ...] = (RIR.APNIC, RIR.ARIN, RIR.RIPE)
+
+
+@dataclass(frozen=True)
+class PriceQuarter:
+    """One Fig. 1 box: a (quarter, bucket, region) sample summary."""
+
+    year: int
+    quarter: int
+    bucket: str
+    region: Optional[RIR]
+    stats: BoxStats
+
+
+def quarterly_price_stats(
+    dataset: TransactionDataset,
+    *,
+    by_region: bool = False,
+) -> List[PriceQuarter]:
+    """Box stats per quarter and size bucket (optionally per region)."""
+    core = dataset.for_regions(CORE_REGIONS)
+    results: List[PriceQuarter] = []
+    for (year, quarter), bucket_data in core.by_quarter().items():
+        for bucket_name, lengths in SIZE_BUCKETS:
+            in_bucket = bucket_data.for_lengths(lengths)
+            if by_region:
+                for region, regional in in_bucket.by_region().items():
+                    if len(regional) == 0:
+                        continue
+                    results.append(
+                        PriceQuarter(
+                            year=year,
+                            quarter=quarter,
+                            bucket=bucket_name,
+                            region=region,
+                            stats=box_stats(regional.prices()),
+                        )
+                    )
+            elif len(in_bucket) > 0:
+                results.append(
+                    PriceQuarter(
+                        year=year,
+                        quarter=quarter,
+                        bucket=bucket_name,
+                        region=None,
+                        stats=box_stats(in_bucket.prices()),
+                    )
+                )
+    return results
+
+
+def regional_price_difference(
+    dataset: TransactionDataset,
+) -> Tuple[float, float]:
+    """Kruskal–Wallis H-test across the three core regions' prices.
+
+    The paper finds no statistically significant difference; a p-value
+    above the usual 0.05 reproduces that conclusion.
+    """
+    groups = [
+        dataset.for_regions([region]).prices()
+        for region in CORE_REGIONS
+    ]
+    return kruskal_wallis(groups)
+
+
+def doubling_factor(
+    dataset: TransactionDataset,
+    *,
+    baseline_year: int = 2016,
+    final_year: int = 2020,
+) -> float:
+    """Median price of the final year over the baseline year (§3: ≈2)."""
+    def year_prices(year: int) -> List[float]:
+        window = dataset.in_window(
+            datetime.date(year, 1, 1), datetime.date(year + 1, 1, 1)
+        )
+        return window.prices()
+
+    base = year_prices(baseline_year)
+    final = year_prices(final_year)
+    if not base or not final:
+        raise ValueError("not enough data to compute the doubling factor")
+    return box_stats(final).median / box_stats(base).median
+
+
+def mean_price_per_ip(
+    dataset: TransactionDataset,
+    start: datetime.date,
+    end: datetime.date,
+) -> float:
+    """Average market price in a window (the paper's ≈$22.50)."""
+    window = dataset.in_window(start, end).for_regions(CORE_REGIONS)
+    prices = window.prices()
+    if not prices:
+        raise ValueError("no transactions in window")
+    return sum(prices) / len(prices)
+
+
+def consolidation_quarter(
+    dataset: TransactionDataset,
+    *,
+    flatness_threshold: float = 0.06,
+    variance_ratio_threshold: float = 0.7,
+    stable_quarters: int = 3,
+) -> Optional[Tuple[int, int]]:
+    """Detect the start of the consolidation phase.
+
+    A quarter opens the consolidation if, from it onward for at least
+    ``stable_quarters`` quarters, (i) the median price moves less than
+    ``flatness_threshold`` per quarter and (ii) the within-quarter
+    coefficient of variation drops below ``variance_ratio_threshold``
+    times the pre-period average.  Returns the (year, quarter) or None.
+    """
+    core = dataset.for_regions(CORE_REGIONS)
+    quarters = list(core.by_quarter().items())
+    if len(quarters) < stable_quarters + 2:
+        return None
+    medians = [box_stats(q.prices()).median for _key, q in quarters]
+    cvs = [coefficient_of_variation(q.prices()) for _key, q in quarters]
+    overall_cv = sum(cvs) / len(cvs)
+    for i in range(1, len(quarters) - stable_quarters + 1):
+        window_flat = all(
+            abs(medians[j + 1] - medians[j]) / medians[j]
+            < flatness_threshold
+            for j in range(i, min(i + stable_quarters, len(quarters) - 1))
+        )
+        window_calm = all(
+            cvs[j] < overall_cv * variance_ratio_threshold
+            for j in range(i, i + stable_quarters)
+        )
+        if window_flat and window_calm:
+            return quarters[i][0]
+    return None

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints "the same rows the paper reports"; this
+module renders them as aligned ASCII tables so `pytest benchmarks/`
+output is directly comparable against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [str(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[i]) for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    entries: Iterable[Sequence[object]],
+) -> str:
+    """Render (metric, paper value, measured value) comparison rows."""
+    return render_table(
+        ["metric", "paper", "measured"], entries, title=title
+    )

@@ -1,0 +1,12 @@
+"""CAIDA-style AS-to-organization mapping.
+
+Extension (iv) of the paper's inference algorithm removes delegations
+between ASes of the same organization, "relying on CAIDA's
+AS-to-Organization mapping [...] within the next available snapshot".
+This package models the dataset (quarterly snapshots), its file format,
+and the next-available-snapshot join semantics.
+"""
+
+from repro.asorg.as2org import As2OrgDataset, As2OrgSnapshot, Organization
+
+__all__ = ["As2OrgDataset", "As2OrgSnapshot", "Organization"]

@@ -1,0 +1,43 @@
+"""BGP routing substrate.
+
+Stands in for the paper's three collector projects (RIPE RIS, Route
+Views, Isolario):
+
+- :mod:`~repro.bgp.topology` — AS-level topology with Gao–Rexford
+  customer/provider/peer relationships,
+- :mod:`~repro.bgp.propagation` — valley-free route propagation
+  (who receives a route, and over which AS path),
+- :mod:`~repro.bgp.message` — route records as collectors export them,
+- :mod:`~repro.bgp.rib` — per-monitor routing tables,
+- :mod:`~repro.bgp.collector` — collector projects producing daily
+  RIB/update archives,
+- :mod:`~repro.bgp.stream` — a pybgpstream-like reader over archives,
+- :mod:`~repro.bgp.sanitize` — the paper's route-cleaning rules.
+"""
+
+from repro.bgp.archive import ArchiveWindowReader, write_window
+from repro.bgp.collector import Collector, CollectorSystem
+from repro.bgp.message import Announcement, RouteRecord, Withdrawal
+from repro.bgp.propagation import PropagationModel
+from repro.bgp.rib import RoutingTable
+from repro.bgp.sanitize import SanitizeStats, sanitize_records
+from repro.bgp.stream import RouteStream
+from repro.bgp.topology import ASRelationship, ASTopology, TopologyConfig
+
+__all__ = [
+    "ASRelationship",
+    "ASTopology",
+    "Announcement",
+    "ArchiveWindowReader",
+    "write_window",
+    "Collector",
+    "CollectorSystem",
+    "PropagationModel",
+    "RouteRecord",
+    "RouteStream",
+    "RoutingTable",
+    "SanitizeStats",
+    "TopologyConfig",
+    "Withdrawal",
+    "sanitize_records",
+]

@@ -1,0 +1,264 @@
+"""RIB + update-file archives, the way collectors actually publish.
+
+The paper's data handling (§4): "we use the RIB snapshot at 0:00 UTC+0
+and all update files for that day.  If an update file is missing, we
+additionally download the first available rib snapshot afterward."
+
+This module reproduces that structure: a window starts with a full RIB
+snapshot per collector, followed by per-day update files (announce /
+withdraw deltas against the previous day).  The reader replays updates
+onto the RIB; when a day's update file is missing it falls back to the
+first available later RIB snapshot, exactly like the paper.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.bgp.collector import CollectorSystem
+from repro.bgp.message import RouteRecord
+from repro.bgp.rib import RoutingTable
+from repro.bgp.stream import AnnouncementSource, date_range
+from repro.errors import CollectorDataError
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import IPv4Prefix
+
+_RIB_SUFFIX = ".rib.jsonl"
+_UPDATES_SUFFIX = ".updates.jsonl"
+
+
+def _rib_path(base: pathlib.Path, collector: str,
+              date: datetime.date) -> pathlib.Path:
+    return base / collector / f"{date.isoformat()}{_RIB_SUFFIX}"
+
+
+def _updates_path(base: pathlib.Path, collector: str,
+                  date: datetime.date) -> pathlib.Path:
+    return base / collector / f"{date.isoformat()}{_UPDATES_SUFFIX}"
+
+
+def write_window(
+    system: CollectorSystem,
+    source: AnnouncementSource,
+    start: datetime.date,
+    end: datetime.date,
+    archive_dir: Union[str, pathlib.Path],
+    *,
+    rib_every_days: int = 7,
+) -> List[str]:
+    """Write a window as RIB snapshots plus daily update files.
+
+    A full RIB is dumped on the first day and every ``rib_every_days``
+    after (real collectors dump every 8 hours; daily deltas dominate
+    either way); the days in between get update files containing only
+    the announce/withdraw deltas.  Returns every path written.
+    """
+    base = pathlib.Path(archive_dir)
+    paths: List[str] = []
+    tables: Dict[Tuple[str, int], RoutingTable] = {}
+    for day_index, date in enumerate(date_range(start, end)):
+        announcements = list(source(date))
+        # Desired per-monitor state for the day.
+        desired: Dict[Tuple[str, int], Dict[IPv4Prefix, ASPath]] = {}
+        for record in system.records_for_day(announcements, date):
+            key = (record.collector, record.monitor_asn)
+            desired.setdefault(key, {})[record.prefix] = record.as_path
+        is_rib_day = day_index % rib_every_days == 0
+        per_collector_updates: Dict[str, List[dict]] = {}
+        for collector in system.collectors():
+            directory = base / collector.name
+            directory.mkdir(parents=True, exist_ok=True)
+            per_collector_updates[collector.name] = []
+        for collector in system.collectors():
+            for monitor in sorted(collector.monitors):
+                key = (collector.name, monitor)
+                table = tables.get(key)
+                if table is None:
+                    table = RoutingTable(collector.name, monitor)
+                    tables[key] = table
+                announcements_out, withdrawals = table.reconcile(
+                    desired.get(key, {}), date
+                )
+                for record in announcements_out:
+                    per_collector_updates[collector.name].append(
+                        {"type": "A", **record.to_json()}
+                    )
+                for withdrawal in withdrawals:
+                    per_collector_updates[collector.name].append({
+                        "type": "W",
+                        "collector": withdrawal.collector,
+                        "monitor": withdrawal.monitor_asn,
+                        "prefix": str(withdrawal.prefix),
+                        "date": withdrawal.date.isoformat(),
+                    })
+        for collector in system.collectors():
+            if is_rib_day:
+                path = _rib_path(base, collector.name, date)
+                with open(path, "w", encoding="utf-8") as handle:
+                    for monitor in sorted(collector.monitors):
+                        table = tables[(collector.name, monitor)]
+                        for record in table.records(date):
+                            handle.write(
+                                json.dumps(record.to_json()) + "\n"
+                            )
+                paths.append(str(path))
+            else:
+                path = _updates_path(base, collector.name, date)
+                with open(path, "w", encoding="utf-8") as handle:
+                    for update in per_collector_updates[collector.name]:
+                        handle.write(json.dumps(update) + "\n")
+                paths.append(str(path))
+    return paths
+
+
+class ArchiveWindowReader:
+    """Replays a RIB+updates archive back into per-day route records.
+
+    Implements the paper's missing-file fallback: a day whose update
+    file is absent (and which is not a RIB day) is reconstructed from
+    the *first available RIB snapshot afterward* within
+    ``max_lookahead_days``.
+    """
+
+    def __init__(
+        self,
+        archive_dir: Union[str, pathlib.Path],
+        *,
+        max_lookahead_days: int = 14,
+    ):
+        self._base = pathlib.Path(archive_dir)
+        if not self._base.is_dir():
+            raise CollectorDataError(f"no archive at {self._base}")
+        self._max_lookahead = max_lookahead_days
+        self.fallbacks_used = 0
+
+    def collectors(self) -> List[str]:
+        return sorted(
+            d.name for d in self._base.iterdir() if d.is_dir()
+        )
+
+    # -- low-level file access ------------------------------------------
+
+    def _read_rib(
+        self, collector: str, date: datetime.date
+    ) -> Optional[List[RouteRecord]]:
+        path = _rib_path(self._base, collector, date)
+        if not path.exists():
+            return None
+        records = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RouteRecord.from_json(json.loads(line)))
+        return records
+
+    def _read_updates(
+        self, collector: str, date: datetime.date
+    ) -> Optional[List[dict]]:
+        path = _updates_path(self._base, collector, date)
+        if not path.exists():
+            return None
+        updates = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    updates.append(json.loads(line))
+        return updates
+
+    def _next_rib(
+        self, collector: str, date: datetime.date
+    ) -> Optional[Tuple[datetime.date, List[RouteRecord]]]:
+        for offset in range(1, self._max_lookahead + 1):
+            candidate = date + datetime.timedelta(days=offset)
+            records = self._read_rib(collector, candidate)
+            if records is not None:
+                return candidate, records
+        return None
+
+    # -- replay ---------------------------------------------------------------
+
+    def records_on(self, date: datetime.date) -> Iterator[RouteRecord]:
+        """Reconstruct every collector's records for ``date``."""
+        for collector in self.collectors():
+            yield from self._collector_records_on(collector, date)
+
+    def _collector_records_on(
+        self, collector: str, date: datetime.date
+    ) -> Iterator[RouteRecord]:
+        rib = self._read_rib(collector, date)
+        if rib is not None:
+            for record in rib:
+                yield RouteRecord(
+                    collector=record.collector,
+                    monitor_asn=record.monitor_asn,
+                    prefix=record.prefix,
+                    as_path=record.as_path,
+                    date=date,
+                )
+            return
+        # Replay from the most recent RIB before `date`.
+        rib_date = None
+        for offset in range(1, self._max_lookahead + 1):
+            candidate = date - datetime.timedelta(days=offset)
+            rib = self._read_rib(collector, candidate)
+            if rib is not None:
+                rib_date = candidate
+                break
+        if rib is None or rib_date is None:
+            raise CollectorDataError(
+                f"no RIB within {self._max_lookahead} days before "
+                f"{date} for {collector}"
+            )
+        tables: Dict[int, RoutingTable] = {}
+        for record in rib:
+            table = tables.setdefault(
+                record.monitor_asn,
+                RoutingTable(collector, record.monitor_asn),
+            )
+            table.announce(record.prefix, record.as_path)
+        current = rib_date + datetime.timedelta(days=1)
+        while current <= date:
+            updates = self._read_updates(collector, current)
+            if updates is None:
+                # The paper's fallback: jump to the next available RIB.
+                self.fallbacks_used += 1
+                replacement = self._next_rib(collector, current - datetime.timedelta(days=1))
+                if replacement is None:
+                    raise CollectorDataError(
+                        f"update file missing on {current} for "
+                        f"{collector} and no later RIB to fall back to"
+                    )
+                _rib_day, records = replacement
+                for record in records:
+                    yield RouteRecord(
+                        collector=record.collector,
+                        monitor_asn=record.monitor_asn,
+                        prefix=record.prefix,
+                        as_path=record.as_path,
+                        date=date,
+                    )
+                return
+            for update in updates:
+                monitor = int(update["monitor"])
+                table = tables.setdefault(
+                    monitor, RoutingTable(collector, monitor)
+                )
+                prefix = IPv4Prefix.parse(str(update["prefix"]))
+                if update["type"] == "A":
+                    table.announce(
+                        prefix, ASPath.parse(str(update["as_path"]))
+                    )
+                elif update["type"] == "W":
+                    table.withdraw(prefix)
+                else:
+                    raise CollectorDataError(
+                        f"unknown update type {update['type']!r}"
+                    )
+            current += datetime.timedelta(days=1)
+        for table in tables.values():
+            yield from table.records(date)

@@ -1,0 +1,255 @@
+"""Route collector projects and their daily archives.
+
+A :class:`Collector` has a set of monitor (peer) ASes; given the
+announcements of a day and a :class:`~repro.bgp.propagation.
+PropagationModel`, it materializes what each monitor's RIB contains.
+:class:`CollectorSystem` groups the projects the paper uses (RIS,
+Route Views, Isolario) and can write/read daily JSONL archives in a
+``<archive>/<collector>/<date>.jsonl`` layout.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
+
+from repro.bgp.message import Announcement, RouteRecord
+from repro.bgp.propagation import PropagationModel
+from repro.errors import CollectorDataError
+from repro.netbase.aspath import ASPath, ASPathSegment, SegmentType
+
+
+class Collector:
+    """One collector project with its monitor ASes."""
+
+    def __init__(self, name: str, monitor_asns: Iterable[int]):
+        if not name:
+            raise CollectorDataError("collector needs a name")
+        self._name = name
+        self._monitors = frozenset(monitor_asns)
+        if not self._monitors:
+            raise CollectorDataError(f"collector {name} has no monitors")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def monitors(self) -> FrozenSet[int]:
+        return self._monitors
+
+    def records_for_day(
+        self,
+        announcements: Iterable[Announcement],
+        propagation: PropagationModel,
+        date: datetime.date,
+    ) -> Iterator[RouteRecord]:
+        """Yield the day's RIB records for every monitor of this
+        collector.
+
+        A monitor holds a route iff valley-free propagation reaches it
+        — unless the announcement restricts propagation, in which case
+        only the allowed subset sees it (still intersected with
+        topological reachability: a restriction cannot create
+        visibility that the topology forbids).
+        """
+        for announcement in announcements:
+            origin = announcement.origin_asn
+            if origin in propagation.topology:
+                # A monitor that originates the route holds it itself.
+                reachable = propagation.receivers(origin) | {origin}
+            else:
+                reachable = frozenset()
+            visible = self._monitors & reachable
+            if announcement.restricted_to_monitors is not None:
+                visible &= announcement.restricted_to_monitors
+            for monitor in sorted(visible):
+                if monitor == origin:
+                    as_path = ASPath.from_asns([origin])
+                else:
+                    as_path = propagation.path(origin, monitor)
+                if as_path is None:  # pragma: no cover - reachability implies path
+                    continue
+                if announcement.as_set_origin:
+                    as_path = _with_as_set_origin(as_path)
+                yield RouteRecord(
+                    collector=self._name,
+                    monitor_asn=monitor,
+                    prefix=announcement.prefix,
+                    as_path=as_path,
+                    date=date,
+                )
+
+    def __repr__(self) -> str:
+        return f"<Collector {self._name}: {len(self._monitors)} monitors>"
+
+
+def _with_as_set_origin(as_path: ASPath) -> ASPath:
+    """Rewrite the path's origin into a singleton AS_SET.
+
+    Models proxy aggregation artifacts: the announcement's origin shows
+    up as ``{origin}``, which inference step (iii) must discard.
+    """
+    asns = list(as_path.asns())
+    head, origin = asns[:-1], asns[-1]
+    segments = []
+    if head:
+        segments.append(ASPathSegment(SegmentType.SEQUENCE, head))
+    segments.append(ASPathSegment(SegmentType.SET, [origin]))
+    return ASPath(segments)
+
+
+class CollectorSystem:
+    """All collector projects plus archive I/O."""
+
+    def __init__(
+        self,
+        collectors: Iterable[Collector],
+        propagation: PropagationModel,
+    ):
+        self._collectors: Dict[str, Collector] = {}
+        for collector in collectors:
+            if collector.name in self._collectors:
+                raise CollectorDataError(
+                    f"duplicate collector {collector.name}"
+                )
+            self._collectors[collector.name] = collector
+        if not self._collectors:
+            raise CollectorDataError("need at least one collector")
+        self._propagation = propagation
+
+    @property
+    def propagation(self) -> PropagationModel:
+        return self._propagation
+
+    def collectors(self) -> List[Collector]:
+        return [self._collectors[name] for name in sorted(self._collectors)]
+
+    def collector(self, name: str) -> Collector:
+        try:
+            return self._collectors[name]
+        except KeyError:
+            raise CollectorDataError(f"unknown collector {name}") from None
+
+    def all_monitors(self) -> FrozenSet[int]:
+        """The union of all monitor ASes across projects.
+
+        This is the denominator of the paper's "seen by less than half
+        of all BGP monitors" visibility filter.
+        """
+        monitors: FrozenSet[int] = frozenset()
+        for collector in self._collectors.values():
+            monitors |= collector.monitors
+        return monitors
+
+    # -- in-memory generation -------------------------------------------
+
+    def records_for_day(
+        self,
+        announcements: Iterable[Announcement],
+        date: datetime.date,
+    ) -> Iterator[RouteRecord]:
+        """Yield the day's records across every collector."""
+        announcements = list(announcements)
+        for collector in self.collectors():
+            yield from collector.records_for_day(
+                announcements, self._propagation, date
+            )
+
+    def pair_counts_for_day(
+        self,
+        announcements: Iterable[Announcement],
+    ) -> "Dict[object, tuple]":
+        """Aggregate the day directly into prefix-origin visibility.
+
+        Returns ``prefix -> (OriginSet, distinct monitor count)`` —
+        exactly what :func:`repro.bgp.stream.prefix_origin_pairs`
+        computes from materialized records, but without building one
+        record per (monitor, prefix).  This fast path makes multi-year
+        daily inference tractable; tests assert its equivalence to the
+        record-level path.
+        """
+        from repro.netbase.asnum import OriginSet
+
+        propagation = self._propagation
+        monitors = self.all_monitors()
+        origins: Dict[object, OriginSet] = {}
+        seen_monitors: Dict[object, set] = {}
+        for announcement in announcements:
+            origin = announcement.origin_asn
+            if origin in propagation.topology:
+                reachable = propagation.receivers(origin) | {origin}
+            else:
+                reachable = frozenset()
+            visible = monitors & reachable
+            if announcement.restricted_to_monitors is not None:
+                visible &= announcement.restricted_to_monitors
+            if not visible:
+                continue
+            origin_set = OriginSet(
+                (origin,), from_as_set=announcement.as_set_origin
+            )
+            prefix = announcement.prefix
+            existing = origins.get(prefix)
+            origins[prefix] = (
+                origin_set if existing is None else existing.merge(origin_set)
+            )
+            seen_monitors.setdefault(prefix, set()).update(visible)
+        return {
+            prefix: (origins[prefix], len(seen_monitors[prefix]))
+            for prefix in origins
+        }
+
+    # -- archives --------------------------------------------------------
+
+    def write_day(
+        self,
+        announcements: Iterable[Announcement],
+        date: datetime.date,
+        archive_dir: Union[str, pathlib.Path],
+    ) -> List[str]:
+        """Write one JSONL RIB file per collector; returns the paths."""
+        base = pathlib.Path(archive_dir)
+        announcements = list(announcements)
+        paths: List[str] = []
+        for collector in self.collectors():
+            directory = base / collector.name
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{date.isoformat()}.jsonl"
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in collector.records_for_day(
+                    announcements, self._propagation, date
+                ):
+                    handle.write(json.dumps(record.to_json()) + "\n")
+            paths.append(str(path))
+        return paths
+
+    @staticmethod
+    def read_day(
+        archive_dir: Union[str, pathlib.Path],
+        date: datetime.date,
+        collector_name: Optional[str] = None,
+    ) -> Iterator[RouteRecord]:
+        """Read the day's records back from an archive directory."""
+        base = pathlib.Path(archive_dir)
+        if collector_name is not None:
+            directories = [base / collector_name]
+        else:
+            directories = sorted(d for d in base.iterdir() if d.is_dir())
+        for directory in directories:
+            path = directory / f"{date.isoformat()}.jsonl"
+            if not path.exists():
+                raise CollectorDataError(f"missing archive file: {path}")
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield RouteRecord.from_json(json.loads(line))
+                    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                        raise CollectorDataError(
+                            f"corrupt archive line in {path}: {exc}"
+                        ) from exc

@@ -1,0 +1,90 @@
+"""Route records as collectors export them.
+
+Three record shapes flow through the system:
+
+- :class:`Announcement` — *origin-side intent*: an AS announces a
+  prefix on a given day, optionally with restricted propagation (used
+  by the world simulator to model localized hijacks/misconfigurations).
+- :class:`RouteRecord` — *collector-side observation*: one (monitor,
+  prefix, AS path) element, the unit a BGPStream-like reader yields.
+- :class:`Withdrawal` — a monitor losing a route (update streams).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import BgpError
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import IPv4Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """An origination: ``origin_asn`` announces ``prefix``.
+
+    ``restricted_to_monitors`` — when not None, propagation is forced
+    to reach only that monitor subset regardless of topology (models
+    localized events such as more-specific hijacks that stay regional
+    or leaks via a single peer).
+    """
+
+    prefix: IPv4Prefix
+    origin_asn: int
+    restricted_to_monitors: Optional[FrozenSet[int]] = None
+    as_set_origin: bool = False
+
+    def __post_init__(self) -> None:
+        if self.origin_asn < 0:
+            raise BgpError("invalid origin AS")
+
+
+@dataclass(frozen=True)
+class RouteRecord:
+    """One routing-table element observed at a collector.
+
+    ``as_path`` is monitor-first/origin-last; ``origin`` convenience
+    accessors delegate to the path.
+    """
+
+    collector: str
+    monitor_asn: int
+    prefix: IPv4Prefix
+    as_path: ASPath
+    date: datetime.date
+
+    def origin_asn(self) -> int:
+        """The (unique) origin AS; raises for AS_SET origins."""
+        return self.as_path.origin().sole_origin()
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialize for archive files (one JSON object per line)."""
+        return {
+            "collector": self.collector,
+            "monitor": self.monitor_asn,
+            "prefix": str(self.prefix),
+            "as_path": str(self.as_path),
+            "date": self.date.isoformat(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "RouteRecord":
+        return cls(
+            collector=str(data["collector"]),
+            monitor_asn=int(data["monitor"]),  # type: ignore[arg-type]
+            prefix=IPv4Prefix.parse(str(data["prefix"])),
+            as_path=ASPath.parse(str(data["as_path"])),
+            date=datetime.date.fromisoformat(str(data["date"])),
+        )
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A monitor losing its route for a prefix."""
+
+    collector: str
+    monitor_asn: int
+    prefix: IPv4Prefix
+    date: datetime.date

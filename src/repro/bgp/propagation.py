@@ -1,0 +1,138 @@
+"""Valley-free route propagation.
+
+Implements the Gao–Rexford export model: a route learned from a
+customer is exported to everyone; a route learned from a peer or a
+provider is exported to customers only.  Consequently, a route from
+origin *o* reaches AS *m* iff there is a path that goes uphill
+(customer→provider) zero or more steps, across at most one peering
+edge, then downhill (provider→customer) zero or more steps.
+
+The model exposes the two primitives everything downstream needs:
+
+- :meth:`PropagationModel.receivers` — the set of ASes that receive a
+  route originated by *o* (cached per origin), and
+- :meth:`PropagationModel.path` — one shortest valley-free AS path from
+  a receiver back to the origin (what the monitor's RIB would show).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.bgp.topology import ASTopology
+from repro.errors import BgpError
+from repro.netbase.aspath import ASPath
+
+#: Propagation phases: uphill, crossed-one-peering, downhill.
+_UP, _PEERED, _DOWN = 0, 1, 2
+
+_State = Tuple[int, int]
+_Explored = Tuple[
+    FrozenSet[int],            # receivers
+    Dict[int, _State],         # asn -> first (shortest) state reached
+    Dict[_State, _State],      # state -> parent state
+]
+
+
+class PropagationModel:
+    """Valley-free reachability and path selection over a topology."""
+
+    def __init__(self, topology: ASTopology):
+        self._topology = topology
+        self._cache: Dict[int, _Explored] = {}
+
+    @property
+    def topology(self) -> ASTopology:
+        return self._topology
+
+    # -- core BFS ---------------------------------------------------------
+
+    def _explore(self, origin: int) -> _Explored:
+        """BFS over (AS, phase) states from ``origin``.
+
+        BFS order guarantees the first state recorded for an AS lies on
+        a shortest valley-free path; parent pointers are kept per
+        *state* so reconstruction never mixes phases.
+        """
+        cached = self._cache.get(origin)
+        if cached is not None:
+            return cached
+        topology = self._topology
+        if origin not in topology:
+            raise BgpError(f"unknown origin AS{origin}")
+
+        parent: Dict[_State, _State] = {}
+        best_state: Dict[int, _State] = {}
+        start: _State = (origin, _UP)
+        parent[start] = (-1, -1)
+        best_state[origin] = start
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            asn, phase = state
+            neighbors: List[_State] = []
+            if phase == _UP:
+                neighbors.extend(
+                    (provider, _UP)
+                    for provider in sorted(topology.providers_of(asn))
+                )
+                neighbors.extend(
+                    (peer, _PEERED)
+                    for peer in sorted(topology.peers_of(asn))
+                )
+            neighbors.extend(
+                (customer, _DOWN)
+                for customer in sorted(topology.customers_of(asn))
+            )
+            for neighbor in neighbors:
+                if neighbor in parent:
+                    continue
+                parent[neighbor] = state
+                best_state.setdefault(neighbor[0], neighbor)
+                queue.append(neighbor)
+
+        receivers = frozenset(best_state) - {origin}
+        result = (receivers, best_state, parent)
+        self._cache[origin] = result
+        return result
+
+    # -- public API -----------------------------------------------------------
+
+    def receivers(self, origin: int) -> FrozenSet[int]:
+        """All ASes that receive a route originated by ``origin``."""
+        receivers, _best, _parent = self._explore(origin)
+        return receivers
+
+    def sees(self, monitor: int, origin: int) -> bool:
+        """True if ``monitor`` receives routes originated by ``origin``."""
+        return monitor in self.receivers(origin)
+
+    def path(self, origin: int, monitor: int) -> Optional[ASPath]:
+        """One shortest valley-free AS path as seen at ``monitor``.
+
+        The path is monitor-first, origin-last (collector convention).
+        Returns ``None`` when the monitor does not receive the route.
+        """
+        receivers, best_state, parent = self._explore(origin)
+        if monitor not in receivers:
+            return None
+        hops: List[int] = []
+        state = best_state[monitor]
+        while state != (-1, -1):
+            hops.append(state[0])
+            state = parent[state]
+        return ASPath.from_asns(hops)
+
+    def visibility_fraction(
+        self, origin: int, monitors: FrozenSet[int]
+    ) -> float:
+        """Fraction of ``monitors`` that receive routes from ``origin``."""
+        if not monitors:
+            return 0.0
+        seen = self.receivers(origin)
+        return len(frozenset(monitors) & seen) / len(monitors)
+
+    def clear_cache(self) -> None:
+        """Drop memoized per-origin results (topology changed)."""
+        self._cache.clear()

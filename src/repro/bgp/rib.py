@@ -1,0 +1,121 @@
+"""Per-monitor routing tables (RIBs).
+
+A :class:`RoutingTable` tracks what one monitor currently routes.  The
+collector system uses RIBs to derive update streams (announce on
+appearance/path change, withdraw on disappearance) between consecutive
+daily snapshots — the same RIB+updates structure the paper consumes
+from RIPE RIS / Route Views / Isolario.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bgp.message import RouteRecord, Withdrawal
+from repro.netbase.aspath import ASPath
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+
+
+class RoutingTable:
+    """The routing table of a single monitor at one collector."""
+
+    def __init__(self, collector: str, monitor_asn: int):
+        self._collector = collector
+        self._monitor = monitor_asn
+        self._routes: PrefixTrie[ASPath] = PrefixTrie()
+
+    @property
+    def collector(self) -> str:
+        return self._collector
+
+    @property
+    def monitor_asn(self) -> int:
+        return self._monitor
+
+    # -- mutation ------------------------------------------------------
+
+    def announce(self, prefix: IPv4Prefix, as_path: ASPath) -> bool:
+        """Install/replace a route; True if the table changed."""
+        existing = self._routes.get(prefix)
+        if existing == as_path:
+            return False
+        self._routes.insert(prefix, as_path)
+        return True
+
+    def withdraw(self, prefix: IPv4Prefix) -> bool:
+        """Remove the route for ``prefix``; True if one existed."""
+        return self._routes.delete(prefix)
+
+    # -- queries ----------------------------------------------------------
+
+    def route_for(self, prefix: IPv4Prefix) -> Optional[ASPath]:
+        """Exact-match route lookup."""
+        return self._routes.get(prefix)
+
+    def best_match(
+        self, prefix: IPv4Prefix
+    ) -> Optional[Tuple[IPv4Prefix, ASPath]]:
+        """Longest-prefix-match lookup (forwarding behaviour)."""
+        return self._routes.longest_match(prefix)
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        return self._routes.keys()
+
+    def records(self, date: datetime.date) -> Iterator[RouteRecord]:
+        """Dump the table as :class:`RouteRecord` elements."""
+        for prefix, as_path in self._routes.items():
+            yield RouteRecord(
+                collector=self._collector,
+                monitor_asn=self._monitor,
+                prefix=prefix,
+                as_path=as_path,
+                date=date,
+            )
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._routes
+
+    # -- reconciliation ----------------------------------------------------
+
+    def reconcile(
+        self,
+        desired: Dict[IPv4Prefix, ASPath],
+        date: datetime.date,
+    ) -> Tuple[List[RouteRecord], List[Withdrawal]]:
+        """Move the table to ``desired``; return the implied updates.
+
+        Produces the announce/withdraw messages a collector's update
+        file would contain between two daily snapshots.
+        """
+        announcements: List[RouteRecord] = []
+        withdrawals: List[Withdrawal] = []
+        current = dict(self._routes.items())
+        for prefix, as_path in desired.items():
+            if current.get(prefix) != as_path:
+                self.announce(prefix, as_path)
+                announcements.append(
+                    RouteRecord(
+                        collector=self._collector,
+                        monitor_asn=self._monitor,
+                        prefix=prefix,
+                        as_path=as_path,
+                        date=date,
+                    )
+                )
+        for prefix in current:
+            if prefix not in desired:
+                self.withdraw(prefix)
+                withdrawals.append(
+                    Withdrawal(
+                        collector=self._collector,
+                        monitor_asn=self._monitor,
+                        prefix=prefix,
+                        date=date,
+                    )
+                )
+        return announcements, withdrawals

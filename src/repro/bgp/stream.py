@@ -1,0 +1,124 @@
+"""A pybgpstream-like reader interface.
+
+The delegation pipeline consumes daily routing data through one narrow
+interface — :class:`RouteStream` — which can be backed either by an
+in-memory day generator (fast path used by benchmarks) or by on-disk
+collector archives (exercised by tests and examples).  This mirrors how
+code written against pybgpstream does not care which collector archive
+the elements came from.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.bgp.collector import CollectorSystem
+from repro.bgp.message import Announcement, RouteRecord
+from repro.errors import CollectorDataError
+from repro.netbase.asnum import OriginSet
+from repro.netbase.prefix import IPv4Prefix
+
+#: A function returning the day's announcements (the world's behaviour).
+AnnouncementSource = Callable[[datetime.date], Iterable[Announcement]]
+
+
+def date_range(
+    start: datetime.date,
+    end: datetime.date,
+    step_days: int = 1,
+) -> Iterator[datetime.date]:
+    """Yield dates from ``start`` (inclusive) to ``end`` (exclusive)."""
+    if step_days <= 0:
+        raise ValueError("step_days must be positive")
+    current = start
+    while current < end:
+        yield current
+        current += datetime.timedelta(days=step_days)
+
+
+class RouteStream:
+    """Iterate route records day by day, like a BGPStream session."""
+
+    def __init__(
+        self,
+        system: CollectorSystem,
+        source: Optional[AnnouncementSource] = None,
+        archive_dir: Optional[Union[str, pathlib.Path]] = None,
+    ):
+        if (source is None) == (archive_dir is None):
+            raise CollectorDataError(
+                "provide exactly one of source / archive_dir"
+            )
+        self._system = system
+        self._source = source
+        self._archive_dir = archive_dir
+
+    @property
+    def system(self) -> CollectorSystem:
+        return self._system
+
+    def monitor_count(self) -> int:
+        """Total number of monitors feeding the stream."""
+        return len(self._system.all_monitors())
+
+    def records_on(self, date: datetime.date) -> Iterator[RouteRecord]:
+        """All route records of one day."""
+        if self._source is not None:
+            yield from self._system.records_for_day(
+                self._source(date), date
+            )
+        else:
+            assert self._archive_dir is not None
+            yield from CollectorSystem.read_day(self._archive_dir, date)
+
+    def days(
+        self,
+        start: datetime.date,
+        end: datetime.date,
+        step_days: int = 1,
+    ) -> Iterator[Tuple[datetime.date, List[RouteRecord]]]:
+        """Yield ``(date, records)`` pairs across a time window."""
+        for date in date_range(start, end, step_days):
+            yield date, list(self.records_on(date))
+
+    def pairs_on(
+        self, date: datetime.date
+    ) -> Dict[IPv4Prefix, Tuple[OriginSet, int]]:
+        """Prefix-origin visibility aggregates for one day.
+
+        Source-backed streams take the collector fast path (no
+        per-monitor record materialization); archive-backed streams
+        aggregate the stored records.
+        """
+        if self._source is not None:
+            return self._system.pair_counts_for_day(self._source(date))
+        return prefix_origin_pairs(self.records_on(date))
+
+
+def prefix_origin_pairs(
+    records: Iterable[RouteRecord],
+) -> Dict[IPv4Prefix, Tuple[OriginSet, int]]:
+    """Aggregate records into per-prefix origin sets and visibility.
+
+    Returns ``prefix -> (merged OriginSet, distinct monitor count)``.
+    The merged origin set becomes non-unique when monitors disagree on
+    the origin (MOAS) or any observation carried an AS_SET — exactly
+    the two conditions inference step (iii) removes.
+    """
+    origins: Dict[IPv4Prefix, OriginSet] = {}
+    monitors: Dict[IPv4Prefix, set] = {}
+    for record in records:
+        origin = record.as_path.origin()
+        existing = origins.get(record.prefix)
+        origins[record.prefix] = (
+            origin if existing is None else existing.merge(origin)
+        )
+        monitors.setdefault(record.prefix, set()).add(
+            (record.collector, record.monitor_asn)
+        )
+    return {
+        prefix: (origins[prefix], len({m for _c, m in monitors[prefix]}))
+        for prefix in origins
+    }

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points::
+
+    python -m repro generate DIR     # materialize every data feed
+    python -m repro infer            # run the delegation pipeline
+    python -m repro market           # the market report (Figs. 1-4)
+    python -m repro advise 24 3      # buy-or-lease for a /24, 3 years
+
+All commands accept ``--seed`` and ``--scale {small,paper}``; output
+is plain text on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.leasing_prices import summarize_leasing_prices
+from repro.analysis.prices import (
+    consolidation_quarter,
+    doubling_factor,
+    mean_price_per_ip,
+    regional_price_difference,
+)
+from repro.analysis.report import render_table
+from repro.analysis.transfers import market_start_dates, transfer_counts
+from repro.delegation import DelegationInference, InferenceConfig
+from repro.market.amortization import AmortizationScenario
+from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
+from repro.registry.rir import RIR
+from repro.simulation import World, paper_scenario, small_scenario
+
+
+def _build_world(args: argparse.Namespace) -> World:
+    if args.scale == "paper":
+        return World(paper_scenario(seed=args.seed))
+    return World(small_scenario(seed=args.seed))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_all
+
+    world = _build_world(args)
+    manifest = generate_all(
+        world,
+        args.directory,
+        collector_days=args.collector_days,
+        include_rpki=not args.no_rpki,
+    )
+    print(manifest.to_json())
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    config = (
+        InferenceConfig.baseline()
+        if args.baseline
+        else InferenceConfig.extended()
+    )
+    as2org = world.as2org() if config.same_org_filter else None
+    inference = DelegationInference(config, as2org)
+    result = inference.infer_range(
+        world.stream(),
+        world.config.bgp_start,
+        world.config.bgp_end,
+        step_days=args.step_days,
+    )
+    rows = [
+        [date, count, result.daily.addresses_on(date)]
+        for date, count in result.counts_series()
+    ]
+    if args.tail:
+        rows = rows[-args.tail:]
+    print(render_table(
+        ["date", "delegations", "addresses"],
+        rows,
+        title=(
+            "BGP delegations "
+            f"({'baseline' if args.baseline else 'extended'} algorithm)"
+        ),
+    ))
+    return 0
+
+
+def _cmd_market(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    dataset = world.priced_transactions()
+    mean_2020 = mean_price_per_ip(
+        dataset, datetime.date(2020, 1, 1), datetime.date(2020, 6, 25)
+    )
+    _h, p_value = regional_price_difference(dataset)
+    quarter = consolidation_quarter(dataset)
+    starts = market_start_dates(world.transfer_ledger())
+    counts = transfer_counts(world.transfer_ledger())
+    leasing = summarize_leasing_prices(
+        world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE
+    )
+    rows = [
+        ["priced transactions", len(dataset)],
+        ["mean 2020 price ($/IP)", f"{mean_2020:.2f}"],
+        ["doubling since 2016", f"{doubling_factor(dataset):.2f}x"],
+        ["regional difference p-value", f"{p_value:.3f}"],
+        ["consolidation starts",
+         f"{quarter[0]} Q{quarter[1]}" if quarter else "not detected"],
+        ["leasing providers", leasing.provider_count],
+        ["leasing range ($/IP/month)",
+         f"{leasing.min_price:.2f} - {leasing.max_price:.2f}"],
+    ]
+    for rir in RIR:
+        total = sum(c for _d, c in counts[rir])
+        start = starts[rir]
+        rows.append([
+            f"{rir.display_name} market",
+            f"{total} transfers since {start}" if start else "negligible",
+        ])
+    print(render_table(["metric", "value"], rows, title="Market report"))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    world = _build_world(args)
+    today = datetime.date(2020, 6, 1)
+    buy_price = mean_price_per_ip(
+        world.priced_transactions(),
+        datetime.date(2020, 1, 1),
+        datetime.date(2020, 6, 25),
+    )
+    rows = []
+    for provider in world.leasing_providers():
+        lease = provider.advertised_price(today)
+        if lease is None:
+            continue
+        scenario = AmortizationScenario(
+            rir=RIR.RIPE,
+            block_length=args.prefix_length,
+            buy_price_per_ip=buy_price,
+            lease_price_per_ip_month=lease,
+        )
+        months = scenario.months()
+        verdict = (
+            "buy"
+            if math.isfinite(months) and months <= args.horizon_years * 12
+            else "lease"
+        )
+        rows.append([
+            provider.name,
+            f"{lease:.2f}",
+            "never" if math.isinf(months) else f"{months / 12:.1f}y",
+            verdict,
+        ])
+    rows.sort(key=lambda r: float(r[1]))
+    print(render_table(
+        ["provider", "$/IP/mo", "break-even", "verdict"],
+        rows,
+        title=(
+            f"Buy (${buy_price:.2f}/IP) or lease a /{args.prefix_length} "
+            f"over {args.horizon_years:g} years?"
+        ),
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis.fig_data import (
+        export_fig1_prices,
+        export_fig2_transfers,
+        export_fig4_leasing,
+        export_fig5_rules,
+        export_fig6_series,
+    )
+    from repro.delegation import evaluate_rules_on_rpki
+
+    world = _build_world(args)
+    base = pathlib.Path(args.directory)
+    written = [
+        export_fig1_prices(world.priced_transactions(), base / "fig1.csv"),
+        export_fig2_transfers(world.transfer_ledger(), base / "fig2.csv"),
+        export_fig4_leasing(
+            world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE,
+            base / "fig4.csv",
+        ),
+        export_fig5_rules(
+            evaluate_rules_on_rpki(
+                world.rpki(), (2, 5, 10, 20, 30, 50, 70, 90), (0, 1, 2, 3)
+            ),
+            base / "fig5.csv",
+        ),
+    ]
+    if not args.skip_fig6:
+        extended = DelegationInference(
+            InferenceConfig.extended(), world.as2org()
+        ).infer_range(
+            world.stream(), world.config.bgp_start, world.config.bgp_end
+        )
+        baseline = DelegationInference(
+            InferenceConfig.baseline()
+        ).infer_range(
+            world.stream(), world.config.bgp_start, world.config.bgp_end
+        )
+        written.append(
+            export_fig6_series(extended, baseline, base / "fig6.csv")
+        )
+    for path in written:
+        print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'When Wells Run Dry: the 2020 IPv4 "
+            "address market' (CoNEXT 2020)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="world seed (default 42)")
+    parser.add_argument("--scale", choices=("small", "paper"),
+                        default="small",
+                        help="scenario preset (default small)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="materialize every data feed into a directory"
+    )
+    generate.add_argument("directory")
+    generate.add_argument("--collector-days", type=int, default=3)
+    generate.add_argument("--no-rpki", action="store_true",
+                          help="skip the (large) daily ROA snapshots")
+    generate.set_defaults(handler=_cmd_generate)
+
+    infer = commands.add_parser(
+        "infer", help="run the delegation-inference pipeline"
+    )
+    infer.add_argument("--baseline", action="store_true",
+                       help="previously proposed algorithm (no extensions)")
+    infer.add_argument("--step-days", type=int, default=1)
+    infer.add_argument("--tail", type=int, default=10,
+                       help="show only the last N days (default 10)")
+    infer.set_defaults(handler=_cmd_infer)
+
+    market = commands.add_parser("market", help="print the market report")
+    market.set_defaults(handler=_cmd_market)
+
+    figures = commands.add_parser(
+        "figures", help="export every figure's data series as CSV"
+    )
+    figures.add_argument("directory")
+    figures.add_argument("--skip-fig6", action="store_true",
+                         help="skip the (slow) full inference run")
+    figures.set_defaults(handler=_cmd_figures)
+
+    advise = commands.add_parser(
+        "advise", help="buy-or-lease comparison for a block size"
+    )
+    advise.add_argument("prefix_length", type=int, nargs="?", default=24)
+    advise.add_argument("horizon_years", type=float, nargs="?", default=3.0)
+    advise.set_defaults(handler=_cmd_advise)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Dataset generation and loading.
+
+One call — :func:`~repro.datasets.generate.generate_all` — materializes
+every data feed of a world onto disk in the formats the real sources
+use (RIR transfer JSON, WHOIS split files, CAIDA as2org files,
+validated-ROA CSVs, collector JSONL archives, transaction/scrape CSVs),
+and the loaders read them back.  Examples and tests use this to prove
+the pipelines run on files, not in-memory shortcuts.
+"""
+
+from repro.datasets.generate import DatasetManifest, generate_all
+from repro.datasets.loaders import (
+    load_leasing_scrapes,
+    load_priced_transactions,
+    load_transfer_ledger,
+    load_whois_snapshot,
+)
+from repro.datasets.scrapes import read_scrape_csv, write_scrape_csv
+
+__all__ = [
+    "DatasetManifest",
+    "generate_all",
+    "load_leasing_scrapes",
+    "load_priced_transactions",
+    "load_transfer_ledger",
+    "load_whois_snapshot",
+    "read_scrape_csv",
+    "write_scrape_csv",
+]

@@ -1,0 +1,107 @@
+"""Materialize a world's data feeds onto disk."""
+
+from __future__ import annotations
+
+import logging
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
+from repro.datasets.scrapes import write_scrape_csv
+from repro.simulation.world import World
+from repro.whois.snapshot import write_snapshot_file
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class DatasetManifest:
+    """Where everything was written."""
+
+    root: str
+    transfer_feeds: Dict[str, str] = field(default_factory=dict)
+    priced_transactions: str = ""
+    whois_snapshot: str = ""
+    as2org_dir: str = ""
+    rpki_dir: str = ""
+    collector_archive: str = ""
+    collector_days: List[str] = field(default_factory=list)
+    leasing_scrapes: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, indent=2, sort_keys=True)
+
+
+def generate_all(
+    world: World,
+    directory: Union[str, pathlib.Path],
+    *,
+    collector_days: int = 3,
+    scrape_step_days: int = 7,
+    include_rpki: bool = True,
+) -> DatasetManifest:
+    """Write every feed of ``world`` under ``directory``.
+
+    ``collector_days`` controls how many daily BGP archives are
+    materialized (full multi-year archives would be gigabytes; the
+    streaming pipelines use the in-memory source instead).
+    """
+    base = pathlib.Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    manifest = DatasetManifest(root=str(base))
+
+    # RIR transfer feeds (one JSON per RIR).
+    feeds = world.transfer_ledger().write_feeds(base / "transfers")
+    manifest.transfer_feeds = {
+        rir.value: path for rir, path in feeds.items()
+    }
+
+    # Broker pricing dataset.
+    manifest.priced_transactions = world.priced_transactions().write_csv(
+        base / "pricing" / "transactions.csv"
+    )
+
+    # WHOIS split file.
+    manifest.whois_snapshot = write_snapshot_file(
+        world.whois().inetnums(), base / "whois" / "ripe.db.inetnum"
+    )
+
+    # as2org quarterly snapshots.
+    as2org_dir = base / "as2org"
+    world.as2org().write(as2org_dir)
+    manifest.as2org_dir = str(as2org_dir)
+
+    # RPKI snapshots (daily CSVs; large, so optional).
+    if include_rpki:
+        rpki_dir = base / "rpki"
+        world.rpki().write_snapshots(rpki_dir)
+        manifest.rpki_dir = str(rpki_dir)
+
+    # A few days of collector archives.
+    archive_dir = base / "bgp"
+    source = world.announcement_source()
+    system = world.collector_system()
+    date = world.config.bgp_start
+    for _ in range(collector_days):
+        system.write_day(source(date), date, archive_dir)
+        manifest.collector_days.append(date.isoformat())
+        date += datetime.timedelta(days=1)
+    manifest.collector_archive = str(archive_dir)
+
+    # Leasing price scrapes.
+    records = world.scrape_log().scrape_series(
+        FIRST_SCRAPE, SECOND_WAVE, scrape_step_days
+    )
+    records.extend(world.scrape_log().scrape(SECOND_WAVE))
+    manifest.leasing_scrapes = write_scrape_csv(
+        records, base / "leasing" / "scrapes.csv"
+    )
+
+    logger.info("dataset written under %s", base)
+    with open(base / "manifest.json", "w", encoding="utf-8") as handle:
+        handle.write(manifest.to_json())
+    return manifest

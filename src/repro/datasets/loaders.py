@@ -1,0 +1,54 @@
+"""Loaders for the on-disk dataset formats."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.datasets.scrapes import read_scrape_csv
+from repro.errors import DatasetError
+from repro.market.leasing import ScrapeRecord
+from repro.market.transactions import TransactionDataset
+from repro.registry.transfers import TransferLedger
+from repro.whois.database import WhoisDatabase
+from repro.whois.snapshot import read_snapshot_file
+
+
+def load_transfer_ledger(
+    feeds_dir: Union[str, pathlib.Path]
+) -> TransferLedger:
+    """Rebuild a de-duplicated ledger from all per-RIR feed files."""
+    base = pathlib.Path(feeds_dir)
+    feed_payloads = []
+    paths = sorted(base.glob("*_transfers_latest.json"))
+    if not paths:
+        raise DatasetError(f"no transfer feeds under {base}")
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            feed_payloads.append(json.load(handle))
+    return TransferLedger.from_feeds(feed_payloads)
+
+
+def load_priced_transactions(
+    path: Union[str, pathlib.Path]
+) -> TransactionDataset:
+    """Load the broker pricing CSV."""
+    return TransactionDataset.read_csv(path)
+
+
+def load_whois_snapshot(
+    path: Union[str, pathlib.Path]
+) -> WhoisDatabase:
+    """Load a WHOIS split file into a queryable database."""
+    database = WhoisDatabase("RIPE")
+    for obj in read_snapshot_file(path):
+        database.add_inetnum(obj)
+    return database
+
+
+def load_leasing_scrapes(
+    path: Union[str, pathlib.Path]
+) -> List[ScrapeRecord]:
+    """Load the leasing scrape CSV."""
+    return read_scrape_csv(path)

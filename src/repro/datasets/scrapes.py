@@ -1,0 +1,56 @@
+"""CSV persistence for leasing price scrapes (the Fig. 4 raw data)."""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+import pathlib
+from typing import List, Union
+
+from repro.errors import DatasetError
+from repro.market.leasing import ScrapeRecord
+
+_FIELDS = ["date", "provider", "price", "bundles_hosting"]
+
+
+def write_scrape_csv(
+    records: List[ScrapeRecord],
+    path: Union[str, pathlib.Path],
+) -> str:
+    """Write scrape records as CSV; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(
+            {
+                "date": record.date.isoformat(),
+                "provider": record.provider,
+                "price": f"{record.price:.2f}",
+                "bundles_hosting": int(record.bundles_hosting),
+            }
+        )
+    path.write_text(buffer.getvalue(), encoding="utf-8")
+    return str(path)
+
+
+def read_scrape_csv(path: Union[str, pathlib.Path]) -> List[ScrapeRecord]:
+    """Read scrape records back from CSV."""
+    records: List[ScrapeRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            try:
+                records.append(
+                    ScrapeRecord(
+                        date=datetime.date.fromisoformat(row["date"]),
+                        provider=row["provider"],
+                        price=float(row["price"]),
+                        bundles_hosting=bool(int(row["bundles_hosting"])),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise DatasetError(f"bad scrape row {row!r}: {exc}") from exc
+    return records

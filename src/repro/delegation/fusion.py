@@ -1,0 +1,162 @@
+"""Multi-source delegation fusion (the paper's proposed future work).
+
+§7: "future research efforts should combine routing information, RPKI
+data, as well as the RDAP databases to obtain a better picture of the
+leasing ecosystem."  This module implements that combination: it takes
+the three delegation views, matches them by address overlap, and
+produces per-prefix provenance (which sources corroborate each
+delegation) plus an ecosystem report.
+
+Interpretation guide built into the data model:
+
+- **RDAP only** — registered but unrouted: reserved chunks, future
+  customers (the paper's "invisible in BGP" majority),
+- **BGP only** — routed but unregistered: providers that do not
+  require WHOIS entries (blacklist-risk-tolerant),
+- **BGP + RPKI** — routed with ROA continuity: operationally serious,
+- **all three** — fully corroborated delegations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.delegation.model import BgpDelegation, RdapDelegation
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.prefixset import PrefixSet, address_count
+from repro.rpki.database import RpkiDelegation
+
+
+class Source(enum.Enum):
+    """Where a delegation was observed."""
+
+    BGP = "bgp"
+    RPKI = "rpki"
+    RDAP = "rdap"
+
+
+@dataclass(frozen=True)
+class FusedDelegation:
+    """One delegated prefix with its observation provenance."""
+
+    prefix: IPv4Prefix
+    sources: FrozenSet[Source]
+
+    @property
+    def corroboration(self) -> int:
+        """Number of independent sources that saw the delegation."""
+        return len(self.sources)
+
+    @property
+    def registered_but_unrouted(self) -> bool:
+        return self.sources == frozenset({Source.RDAP})
+
+    @property
+    def routed_but_unregistered(self) -> bool:
+        return Source.BGP in self.sources and Source.RDAP not in self.sources
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """Ecosystem-level summary of the fused view."""
+
+    fused: Tuple[FusedDelegation, ...]
+    addresses_by_source: Dict[Source, int]
+    combined_addresses: int
+
+    def count_by_corroboration(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for delegation in self.fused:
+            level = delegation.corroboration
+            counts[level] = counts.get(level, 0) + 1
+        return counts
+
+    def addresses_by_sources(self) -> Dict[FrozenSet[Source], int]:
+        """Distinct addresses per exact source combination."""
+        by_combo: Dict[FrozenSet[Source], List[IPv4Prefix]] = {}
+        for delegation in self.fused:
+            by_combo.setdefault(delegation.sources, []).append(
+                delegation.prefix
+            )
+        return {
+            combo: address_count(prefixes)
+            for combo, prefixes in by_combo.items()
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"fused delegations: {len(self.fused)}",
+            f"combined market size: {self.combined_addresses} addresses",
+        ]
+        names = {
+            Source.BGP: "BGP", Source.RPKI: "RPKI", Source.RDAP: "RDAP"
+        }
+        for combo, addresses in sorted(
+            self.addresses_by_sources().items(),
+            key=lambda item: -item[1],
+        ):
+            label = "+".join(sorted(names[s] for s in combo))
+            lines.append(f"  {label}: {addresses} addresses")
+        return lines
+
+
+def fuse_delegations(
+    bgp: Iterable[BgpDelegation],
+    rpki: Iterable[RpkiDelegation],
+    rdap: Iterable[RdapDelegation],
+) -> FusionReport:
+    """Fuse the three views into per-prefix provenance.
+
+    A prefix observed in one source is credited to another source when
+    the other source's delegated space overlaps it (covering or
+    covered): a /24 routed inside a registered /20 lease *is* the same
+    underlying agreement seen at two granularities.
+    """
+    bgp_prefixes = sorted({d.prefix for d in bgp})
+    rpki_prefixes = sorted({d.prefix for d in rpki})
+    rdap_prefixes: List[IPv4Prefix] = []
+    for delegation in rdap:
+        rdap_prefixes.extend(delegation.prefixes())
+    rdap_prefixes = sorted(set(rdap_prefixes))
+
+    sets = {
+        Source.BGP: PrefixSet(bgp_prefixes),
+        Source.RPKI: PrefixSet(rpki_prefixes),
+        Source.RDAP: PrefixSet(rdap_prefixes),
+    }
+
+    def overlaps(source: Source, prefix: IPv4Prefix) -> bool:
+        return sets[source].overlap_addresses(prefix) > 0
+
+    fused: List[FusedDelegation] = []
+    seen = set()
+    for own_source, prefixes in (
+        (Source.BGP, bgp_prefixes),
+        (Source.RPKI, rpki_prefixes),
+        (Source.RDAP, rdap_prefixes),
+    ):
+        for prefix in prefixes:
+            if prefix in seen:
+                continue
+            seen.add(prefix)
+            sources = {
+                source for source in Source if overlaps(source, prefix)
+            }
+            sources.add(own_source)
+            fused.append(
+                FusedDelegation(prefix=prefix, sources=frozenset(sources))
+            )
+    fused.sort(key=lambda d: d.prefix)
+
+    return FusionReport(
+        fused=tuple(fused),
+        addresses_by_source={
+            source: address_count(list(prefix_set))
+            for source, prefix_set in sets.items()
+        },
+        combined_addresses=address_count(
+            bgp_prefixes + rpki_prefixes + rdap_prefixes
+        ),
+    )

@@ -1,0 +1,162 @@
+"""The RDAP pipeline (§4, "RDAP-delegations").
+
+From a WHOIS snapshot:
+
+1. select the delegation-related inetnums (``SUB-ALLOCATED PA`` and
+   ``ASSIGNED PA``),
+2. drop blocks smaller than /24 (the paper does this to "minimize the
+   load on RIPE's RDAP interface" — the fraction dropped, 91.4 % of
+   ASSIGNED PA in June 2020, is itself a reported statistic),
+3. query RDAP for each remaining block to obtain its ``parentHandle``,
+4. drop intra-organization pairs (same registrant or administrator as
+   the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.delegation.model import RdapDelegation
+from repro.errors import ReproError
+from repro.netbase.prefix import IPv4Prefix
+from repro.rdap.client import RdapClient
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+
+@dataclass
+class RdapExtractionStats:
+    """Counters along the pipeline — several are paper statistics."""
+
+    sub_allocated_total: int = 0
+    assigned_total: int = 0
+    smaller_than_24: int = 0
+    queried: int = 0
+    no_parent: int = 0
+    intra_org: int = 0
+    delegations: int = 0
+
+    @property
+    def assigned_smaller_than_24_fraction(self) -> float:
+        """Paper: 91.4 % of ASSIGNED PA entries are smaller than /24."""
+        if self.assigned_total == 0:
+            return 0.0
+        return self.smaller_than_24 / self.assigned_total
+
+
+def extract_rdap_delegations(
+    inetnums: Iterable[InetnumObject],
+    client: RdapClient,
+    *,
+    min_block_length: int = 24,
+    stats: Optional[RdapExtractionStats] = None,
+) -> List[RdapDelegation]:
+    """Run the §4 RDAP pipeline over snapshot ``inetnums``.
+
+    ``client`` resolves parent handles (one RDAP query per candidate).
+    Parent registration data comes from the *server's* database — the
+    measurement only trusts what the public interface exposes.
+    """
+    if stats is None:
+        stats = RdapExtractionStats()
+    # Index parent handle -> (org, admin) learned from RDAP responses,
+    # so intra-org checks reuse queries instead of re-asking.
+    parent_entities: Dict[str, Dict[str, str]] = {}
+    delegations: List[RdapDelegation] = []
+    for obj in inetnums:
+        if obj.status is InetnumStatus.SUB_ALLOCATED_PA:
+            stats.sub_allocated_total += 1
+        elif obj.status is InetnumStatus.ASSIGNED_PA:
+            stats.assigned_total += 1
+            if obj.smaller_than(min_block_length):
+                stats.smaller_than_24 += 1
+                continue
+        else:
+            continue
+        if obj.status is InetnumStatus.SUB_ALLOCATED_PA and obj.smaller_than(
+            min_block_length
+        ):
+            stats.smaller_than_24 += 1
+            continue
+
+        # One RDAP query per candidate block.
+        probe = obj.primary_prefix()
+        stats.queried += 1
+        response = client.lookup_ip(probe)
+        if response is None:
+            stats.no_parent += 1
+            continue
+        parent_handle = response.get("parentHandle")
+        if parent_handle is None:
+            stats.no_parent += 1
+            continue
+        parent_handle = str(parent_handle)
+
+        # Resolve the parent's registrant/admin (cached per handle).
+        entities = parent_entities.get(parent_handle)
+        if entities is None:
+            parent_prefixes = _handle_to_prefixes(parent_handle)
+            parent_response = (
+                client.lookup_ip(parent_prefixes[0])
+                if parent_prefixes
+                else None
+            )
+            entities = _entity_roles(parent_response)
+            parent_entities[parent_handle] = entities
+
+        child_entities = _entity_roles(response)
+        if _same_org(child_entities, entities):
+            stats.intra_org += 1
+            continue
+        stats.delegations += 1
+        delegations.append(
+            RdapDelegation(
+                child_first=obj.first,
+                child_last=obj.last,
+                child_handle=str(response.get("handle", obj.handle)),
+                parent_handle=parent_handle,
+                status=obj.status.value,
+            )
+        )
+    return delegations
+
+
+def _entity_roles(response: Optional[Dict[str, object]]) -> Dict[str, str]:
+    """Extract role → handle from an RDAP response's entities."""
+    roles: Dict[str, str] = {}
+    if response is None:
+        return roles
+    for entity in response.get("entities", []):  # type: ignore[union-attr]
+        for role in entity.get("roles", []):
+            roles[str(role)] = str(entity.get("handle", ""))
+    return roles
+
+
+def _same_org(child: Dict[str, str], parent: Dict[str, str]) -> bool:
+    """Paper's intra-org test: same registrant *or* same administrator."""
+    if not child or not parent:
+        return False
+    registrant_match = (
+        "registrant" in child
+        and child.get("registrant") == parent.get("registrant")
+    )
+    admin_match = (
+        "administrative" in child
+        and child.get("administrative") == parent.get("administrative")
+    )
+    return registrant_match or admin_match
+
+
+def _handle_to_prefixes(handle: str) -> List[IPv4Prefix]:
+    """Parse a ``"a.b.c.d - e.f.g.h"`` handle into CIDR prefixes."""
+    from repro.netbase.prefix import parse_address
+
+    if "-" not in handle:
+        return []
+    first_text, _, last_text = handle.partition("-")
+    try:
+        first = parse_address(first_text.strip())
+        last = parse_address(last_text.strip())
+        return IPv4Prefix.from_range(first, last)
+    except ReproError:
+        return []

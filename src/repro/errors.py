@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class PrefixError(ReproError, ValueError):
+    """An IPv4 address or prefix is malformed or out of range."""
+
+
+class ASNumberError(ReproError, ValueError):
+    """An autonomous-system number is malformed or out of range."""
+
+
+class ASPathError(ReproError, ValueError):
+    """An AS path string or segment sequence cannot be parsed."""
+
+
+class RegistryError(ReproError):
+    """Base class for RIR registry errors."""
+
+
+class PolicyError(RegistryError):
+    """A registry request violates the active allocation policy."""
+
+
+class PoolExhaustedError(RegistryError):
+    """The registry's free pool cannot satisfy the requested size."""
+
+
+class TransferError(RegistryError):
+    """An address transfer is invalid (unknown holder, bad direction, ...)."""
+
+
+class MembershipError(RegistryError):
+    """An operation requires an active LIR membership that is missing."""
+
+
+class WhoisError(ReproError):
+    """Base class for WHOIS database errors."""
+
+
+class ObjectNotFoundError(WhoisError, KeyError):
+    """A WHOIS/RDAP object lookup found no matching object."""
+
+
+class RdapError(ReproError):
+    """Base class for RDAP protocol errors."""
+
+
+class RdapRateLimitError(RdapError):
+    """The RDAP server rejected a query because of rate limiting (HTTP 429)."""
+
+
+class RdapNotFoundError(RdapError):
+    """The RDAP server has no object for the queried resource (HTTP 404)."""
+
+
+class BgpError(ReproError):
+    """Base class for BGP data-plane and collector errors."""
+
+
+class CollectorDataError(BgpError):
+    """A collector archive is missing, truncated, or inconsistent."""
+
+
+class RpkiError(ReproError):
+    """Base class for RPKI database errors."""
+
+
+class MarketError(ReproError):
+    """Base class for transfer/leasing market errors."""
+
+
+class OrderError(MarketError):
+    """An order submitted to the market order book is invalid."""
+
+
+class SimulationError(ReproError):
+    """The world simulator was asked to do something inconsistent."""
+
+
+class ScenarioError(SimulationError, ValueError):
+    """A scenario configuration is invalid."""
+
+
+class DatasetError(ReproError):
+    """A dataset file cannot be parsed or written."""

@@ -1,0 +1,130 @@
+"""The §6 buy-versus-lease amortization model.
+
+Buying address space costs ``buy_price`` per IP up front, plus the
+RIR's annual maintenance fees forever; leasing costs ``lease_price``
+per IP per month with no capital outlay.  Buying amortizes after
+
+    buy_price / (lease_price - maintenance_per_month)
+
+months — undefined (never) when maintenance eats the whole lease
+saving.  With 2020 numbers (buy ≈ $22.50; lease $0.30–$2.33;
+maintenance from near-zero for large holders to ≈ $0.50/IP/month for a
+small RIPE LIR holding a single /24), the paper's "less than a year to
+36 years" spread falls out of this formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import MarketError
+from repro.registry.membership import DEFAULT_FEE_SCHEDULES, FeeSchedule
+from repro.registry.rir import RIR
+
+
+def amortization_months(
+    buy_price_per_ip: float,
+    lease_price_per_ip_month: float,
+    maintenance_per_ip_month: float = 0.0,
+) -> float:
+    """Months until buying beats leasing; ``inf`` if it never does."""
+    if buy_price_per_ip <= 0:
+        raise MarketError("buy price must be positive")
+    if lease_price_per_ip_month <= 0:
+        raise MarketError("lease price must be positive")
+    if maintenance_per_ip_month < 0:
+        raise MarketError("maintenance cannot be negative")
+    saving = lease_price_per_ip_month - maintenance_per_ip_month
+    if saving <= 0:
+        return math.inf
+    return buy_price_per_ip / saving
+
+
+def amortization_years(
+    buy_price_per_ip: float,
+    lease_price_per_ip_month: float,
+    maintenance_per_ip_month: float = 0.0,
+) -> float:
+    """Same as :func:`amortization_months`, in years."""
+    months = amortization_months(
+        buy_price_per_ip,
+        lease_price_per_ip_month,
+        maintenance_per_ip_month,
+    )
+    return months / 12.0
+
+
+@dataclass(frozen=True)
+class AmortizationScenario:
+    """One buy-vs-lease comparison for a concrete block holder."""
+
+    rir: RIR
+    block_length: int
+    buy_price_per_ip: float
+    lease_price_per_ip_month: float
+    fee_schedule: Optional[FeeSchedule] = None
+
+    def maintenance_per_ip_month(self) -> float:
+        """The RIR maintenance cost attributable to this block.
+
+        Assumes the buyer is a new LIR whose only holding is this
+        block, which is the worst (most fee-burdened) case — exactly
+        the situation of the small businesses §6 describes.
+        """
+        schedule = self.fee_schedule or DEFAULT_FEE_SCHEDULES[self.rir]
+        addresses = 1 << (32 - self.block_length)
+        return schedule.monthly_fee_per_address(addresses)
+
+    def months(self) -> float:
+        return amortization_months(
+            self.buy_price_per_ip,
+            self.lease_price_per_ip_month,
+            self.maintenance_per_ip_month(),
+        )
+
+    def years(self) -> float:
+        return self.months() / 12.0
+
+
+def amortization_grid(
+    buy_price_per_ip: float,
+    lease_prices: Iterable[float],
+    rirs: Iterable[RIR] = (RIR.ARIN, RIR.RIPE),
+    block_lengths: Iterable[int] = (24, 22, 20, 16),
+) -> List[AmortizationScenario]:
+    """Cross product of lease prices × RIRs × block sizes.
+
+    The benchmark reduces this grid to the paper's headline range
+    ("somewhere between 10 months and multiple tens of years").
+    """
+    scenarios: List[AmortizationScenario] = []
+    for rir in rirs:
+        for length in block_lengths:
+            for lease in lease_prices:
+                scenarios.append(
+                    AmortizationScenario(
+                        rir=rir,
+                        block_length=length,
+                        buy_price_per_ip=buy_price_per_ip,
+                        lease_price_per_ip_month=lease,
+                    )
+                )
+    return scenarios
+
+
+def summarize_grid(
+    scenarios: Iterable[AmortizationScenario],
+) -> Dict[str, float]:
+    """Min / max / median finite amortization months over a grid."""
+    finite = sorted(
+        s.months() for s in scenarios if math.isfinite(s.months())
+    )
+    if not finite:
+        raise MarketError("no scenario ever amortizes")
+    return {
+        "min_months": finite[0],
+        "max_months": finite[-1],
+        "median_months": finite[len(finite) // 2],
+    }

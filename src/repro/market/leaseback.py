@@ -1,0 +1,101 @@
+"""The "buy and lease back" model (§6 discussion).
+
+Organizations holding more IPv4 space than they use sell it to a
+broker and lease back only what they need, with pre-agreed terms
+should they ever need more: immediate cash flow plus a guaranteed
+address supply.  This module models the deal's economics from the
+seller's perspective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MarketError
+
+
+@dataclass(frozen=True)
+class LeaseBackDeal:
+    """One buy-and-lease-back agreement, seller's view.
+
+    The seller sells ``sold_addresses`` at ``sale_price_per_ip`` and
+    immediately leases back ``leased_back_addresses`` of them at
+    ``lease_price_per_ip_month``.  ``repurchase_price_per_ip``, when
+    set, is the pre-agreed price at which the seller may buy space
+    back later (the "previously agreed terms" of §6).
+    """
+
+    sold_addresses: int
+    sale_price_per_ip: float
+    leased_back_addresses: int
+    lease_price_per_ip_month: float
+    repurchase_price_per_ip: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sold_addresses <= 0:
+            raise MarketError("must sell a positive number of addresses")
+        if not 0 <= self.leased_back_addresses <= self.sold_addresses:
+            raise MarketError(
+                "cannot lease back more than was sold"
+            )
+        if self.sale_price_per_ip <= 0:
+            raise MarketError("sale price must be positive")
+        if self.lease_price_per_ip_month < 0:
+            raise MarketError("lease price cannot be negative")
+        if (
+            self.repurchase_price_per_ip is not None
+            and self.repurchase_price_per_ip <= 0
+        ):
+            raise MarketError("repurchase price must be positive")
+
+    # -- cash flow -----------------------------------------------------
+
+    @property
+    def cash_now(self) -> float:
+        """Immediate proceeds of the sale."""
+        return self.sold_addresses * self.sale_price_per_ip
+
+    @property
+    def monthly_cost(self) -> float:
+        """Ongoing lease-back cost per month."""
+        return self.leased_back_addresses * self.lease_price_per_ip_month
+
+    def net_position(self, months: int) -> float:
+        """Cumulative net cash after ``months`` (positive = ahead)."""
+        if months < 0:
+            raise MarketError("months cannot be negative")
+        return self.cash_now - self.monthly_cost * months
+
+    def months_until_negative(self) -> float:
+        """When cumulative lease payments exceed the sale proceeds.
+
+        Infinite when nothing is leased back (a plain sale).
+        """
+        if self.monthly_cost == 0:
+            return math.inf
+        return self.cash_now / self.monthly_cost
+
+    # -- deal quality ------------------------------------------------------
+
+    @property
+    def effective_sale_fraction(self) -> float:
+        """Share of the sold space the seller actually gave up."""
+        return 1.0 - self.leased_back_addresses / self.sold_addresses
+
+    def repurchase_cost(self, addresses: int) -> float:
+        """Cost of exercising the repurchase option for ``addresses``."""
+        if self.repurchase_price_per_ip is None:
+            raise MarketError("deal has no repurchase option")
+        if addresses < 0:
+            raise MarketError("addresses cannot be negative")
+        return addresses * self.repurchase_price_per_ip
+
+    def is_rational_versus_plain_lease(
+        self, market_lease_price: float
+    ) -> bool:
+        """Sanity check: the lease-back rate should not exceed what the
+        open leasing market charges (else sell plainly and lease
+        elsewhere)."""
+        return self.lease_price_per_ip_month <= market_lease_price

@@ -1,0 +1,226 @@
+"""Leasing providers, advertised prices, and lease agreements.
+
+Reproduces the Fig. 4 input: 12 providers scraped from 2019-10-26 and
+9 more added on 2020-06-01, with per-IP-per-month prices for a /24 on
+a one-month contract.  The three advertised price changes the paper
+reports are encoded on their providers:
+
+- Heficed: $0.65 → $0.40,
+- IPv4Mall: $0.35 → $0.56,
+- IP-AS: $1.17 → $3.90 (a January market test) → $2.33.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import MarketError
+from repro.netbase.prefix import IPv4Prefix
+
+#: First scrape date of the paper's measurement (§4).
+FIRST_SCRAPE = datetime.date(2019, 10, 26)
+#: Date the nine additional providers were added.
+SECOND_WAVE = datetime.date(2020, 6, 1)
+
+
+@dataclass(frozen=True)
+class LeasingProvider:
+    """One leasing provider with an advertised price timeline.
+
+    ``price_timeline`` is a sequence of (effective_date, price) steps;
+    the advertised price on a date is the last step at or before it.
+    ``listed_since`` is when the paper's scraper started covering the
+    provider (not when the provider started operating).
+    """
+
+    name: str
+    listed_since: datetime.date
+    price_timeline: Tuple[Tuple[datetime.date, float], ...]
+    bundles_hosting: bool = False
+    discount_for_commitment: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.price_timeline:
+            raise MarketError(f"{self.name}: empty price timeline")
+        dates = [step[0] for step in self.price_timeline]
+        if dates != sorted(dates):
+            raise MarketError(f"{self.name}: price timeline not sorted")
+        if any(price <= 0 for _date, price in self.price_timeline):
+            raise MarketError(f"{self.name}: non-positive price")
+        if not 0.0 <= self.discount_for_commitment <= 0.5:
+            raise MarketError(f"{self.name}: implausible discount")
+
+    def advertised_price(self, date: datetime.date) -> Optional[float]:
+        """Price per IP per month (for a /24, single month) on ``date``.
+
+        ``None`` before the provider's first price step.
+        """
+        current: Optional[float] = None
+        for effective, price in self.price_timeline:
+            if effective <= date:
+                current = price
+            else:
+                break
+        return current
+
+    def visible_on(self, date: datetime.date) -> bool:
+        """Whether the scraper covered this provider on ``date``."""
+        return date >= self.listed_since
+
+    def monthly_cost(
+        self,
+        prefix_length: int,
+        date: datetime.date,
+        committed_months: int = 1,
+    ) -> float:
+        """Total monthly cost of leasing a block of ``prefix_length``.
+
+        Commitments beyond one month earn the provider's advertised
+        discount (up to 10 % in the paper's data).
+        """
+        price = self.advertised_price(date)
+        if price is None:
+            raise MarketError(
+                f"{self.name} has no advertised price on {date}"
+            )
+        if committed_months < 1:
+            raise MarketError("committed_months must be >= 1")
+        addresses = 1 << (32 - prefix_length)
+        total = price * addresses
+        if committed_months > 1:
+            total *= 1.0 - self.discount_for_commitment
+        return round(total, 2)
+
+
+@dataclass
+class LeaseAgreement:
+    """One active lease of a prefix from a provider to a customer."""
+
+    provider: str
+    customer_org: str
+    prefix: IPv4Prefix
+    start: datetime.date
+    end: Optional[datetime.date] = None
+    registers_whois: bool = True
+
+    def active_on(self, date: datetime.date) -> bool:
+        if date < self.start:
+            return False
+        return self.end is None or date < self.end
+
+
+@dataclass(frozen=True)
+class ScrapeRecord:
+    """One (date, provider, price) observation."""
+
+    date: datetime.date
+    provider: str
+    price: float
+    bundles_hosting: bool
+
+
+class ScrapeLog:
+    """A periodic scrape of advertised prices (the Fig. 4 dataset)."""
+
+    def __init__(self, providers: Iterable[LeasingProvider]):
+        self._providers = {p.name: p for p in providers}
+        if not self._providers:
+            raise MarketError("need at least one provider")
+
+    def providers(self) -> List[LeasingProvider]:
+        return [self._providers[name] for name in sorted(self._providers)]
+
+    def scrape(self, date: datetime.date) -> List[ScrapeRecord]:
+        """Scrape every provider visible on ``date``."""
+        records: List[ScrapeRecord] = []
+        for provider in self.providers():
+            if not provider.visible_on(date):
+                continue
+            price = provider.advertised_price(date)
+            if price is None:
+                continue
+            records.append(
+                ScrapeRecord(
+                    date=date,
+                    provider=provider.name,
+                    price=price,
+                    bundles_hosting=provider.bundles_hosting,
+                )
+            )
+        return records
+
+    def scrape_series(
+        self,
+        start: datetime.date,
+        end: datetime.date,
+        step_days: int = 7,
+    ) -> List[ScrapeRecord]:
+        """Scrape on a cadence from ``start`` to ``end`` inclusive."""
+        if step_days <= 0:
+            raise MarketError("step_days must be positive")
+        records: List[ScrapeRecord] = []
+        date = start
+        while date <= end:
+            records.extend(self.scrape(date))
+            date += datetime.timedelta(days=step_days)
+        return records
+
+
+def default_leasing_providers() -> List[LeasingProvider]:
+    """The 21 providers of Fig. 4 with the paper's price facts."""
+    d = datetime.date
+    first, second = FIRST_SCRAPE, SECOND_WAVE
+
+    def flat(name, price, wave=first, hosting=False, discount=0.0):
+        return LeasingProvider(
+            name=name,
+            listed_since=wave,
+            price_timeline=((wave, price),),
+            bundles_hosting=hosting,
+            discount_for_commitment=discount,
+        )
+
+    return [
+        # --- the original 12 (scraped since 2019-10-26) ---
+        LeasingProvider(
+            name="Heficed",
+            listed_since=first,
+            price_timeline=((first, 0.65), (d(2020, 3, 1), 0.40)),
+            bundles_hosting=True,
+        ),
+        LeasingProvider(
+            name="IPv4Mall",
+            listed_since=first,
+            price_timeline=((first, 0.35), (d(2020, 4, 1), 0.56)),
+        ),
+        LeasingProvider(
+            name="IP-AS",
+            listed_since=first,
+            price_timeline=(
+                (first, 1.17),
+                (d(2020, 1, 10), 3.90),   # the January market test
+                (d(2020, 2, 1), 2.33),
+            ),
+        ),
+        flat("DevelApp", 0.60),
+        flat("GetIPAddresses", 0.49, discount=0.10),
+        flat("HostHoney", 0.75, hosting=True),
+        flat("IPRoyal", 1.20),
+        flat("IPv4Broker", 0.90),
+        flat("LogicWeb", 1.00, hosting=True, discount=0.10),
+        flat("Logosnet", 0.55),
+        flat("Fork Networking", 1.50, hosting=True),
+        flat("ProstoHost", 0.30, hosting=True),  # the $0.30 floor
+        # --- the 9 added on 2020-06-01 ---
+        flat("AnyIP", 0.45, wave=second),
+        flat("CH-CENTER", 0.85, wave=second),
+        flat("Deploymentcode", 0.70, wave=second, hosting=True),
+        flat("Hetzner", 0.95, wave=second, hosting=True),
+        flat("LIR.Services", 1.10, wave=second),
+        flat("PrefixBroker", 0.80, wave=second),
+        flat("RapidDedi", 0.50, wave=second, hosting=True),
+        flat("RentIPv4", 0.65, wave=second),
+        flat("Hostio Solutions", 1.25, wave=second),
+    ]

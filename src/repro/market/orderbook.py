@@ -1,0 +1,175 @@
+"""A simple order book for the transfer market.
+
+Models how brokers match buying and selling LIRs: sell listings carry
+an asking price per IP, buy orders a bid ceiling and a wanted block
+size.  Matching is price–time priority on compatible sizes.  During the
+consolidation phase sellers anchor on the published reference price, so
+the book exposes :meth:`OrderBook.anchor_asks` to pull outliers toward
+it — the mechanism the brokers described in §3.
+"""
+
+from __future__ import annotations
+
+import datetime
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import OrderError
+from repro.netbase.prefix import IPv4Prefix
+
+
+@dataclass
+class SellOrder:
+    """An LIR offering ``block`` at ``ask`` USD per IP."""
+
+    order_id: int
+    org_id: str
+    block: IPv4Prefix
+    ask: float
+    placed: datetime.date
+    withdrawn: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ask <= 0:
+            raise OrderError("ask must be positive")
+        if self.block.length > 24:
+            raise OrderError("blocks smaller than /24 are not transferable")
+
+
+@dataclass
+class BuyOrder:
+    """An LIR wanting a block of ``wanted_length`` paying ≤ ``bid``."""
+
+    order_id: int
+    org_id: str
+    wanted_length: int
+    bid: float
+    placed: datetime.date
+    filled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bid <= 0:
+            raise OrderError("bid must be positive")
+        if not 8 <= self.wanted_length <= 24:
+            raise OrderError(
+                f"wanted length /{self.wanted_length} out of market range"
+            )
+
+
+@dataclass(frozen=True)
+class Match:
+    """A successful pairing, priced at the seller's ask."""
+
+    sell: SellOrder
+    buy: BuyOrder
+    price_per_address: float
+    date: datetime.date
+
+
+class OrderBook:
+    """Price–time-priority matching of sized sell/buy orders."""
+
+    def __init__(self) -> None:
+        self._sells: List[SellOrder] = []
+        self._buys: List[BuyOrder] = []
+        self._ids = itertools.count(1)
+
+    # -- order entry ----------------------------------------------------
+
+    def place_sell(
+        self,
+        org_id: str,
+        block: IPv4Prefix,
+        ask: float,
+        date: datetime.date,
+    ) -> SellOrder:
+        order = SellOrder(next(self._ids), org_id, block, ask, date)
+        self._sells.append(order)
+        return order
+
+    def place_buy(
+        self,
+        org_id: str,
+        wanted_length: int,
+        bid: float,
+        date: datetime.date,
+    ) -> BuyOrder:
+        order = BuyOrder(next(self._ids), org_id, wanted_length, bid, date)
+        self._buys.append(order)
+        return order
+
+    def withdraw_sell(self, order: SellOrder) -> None:
+        order.withdrawn = True
+
+    # -- views ------------------------------------------------------------
+
+    def open_sells(self) -> List[SellOrder]:
+        return [o for o in self._sells if not o.withdrawn]
+
+    def open_buys(self) -> List[BuyOrder]:
+        return [o for o in self._buys if not o.filled]
+
+    def best_ask(self, wanted_length: int) -> Optional[float]:
+        asks = [
+            o.ask for o in self.open_sells()
+            if o.block.length == wanted_length
+        ]
+        return min(asks) if asks else None
+
+    # -- consolidation behaviour ----------------------------------------------
+
+    def anchor_asks(
+        self, reference_price: float, tolerance: float = 0.15
+    ) -> int:
+        """Pull asks toward the published reference price.
+
+        Brokers told the authors they "strictly align their prices with
+        those advertised by IPv4.Global" because pricing above the
+        public reference loses customers.  Asks above
+        ``reference * (1 + tolerance)`` are clipped down; the count of
+        adjusted orders is returned.
+        """
+        if reference_price <= 0:
+            raise OrderError("reference price must be positive")
+        ceiling = reference_price * (1.0 + tolerance)
+        adjusted = 0
+        for order in self.open_sells():
+            if order.ask > ceiling:
+                order.ask = round(ceiling, 2)
+                adjusted += 1
+        return adjusted
+
+    # -- matching -----------------------------------------------------------------
+
+    def match(self, date: datetime.date) -> List[Match]:
+        """Run one matching round.
+
+        For each buy order (oldest first), the cheapest compatible sell
+        (exact size match, ask ≤ bid) wins; ties break by placement
+        date then order id.
+        """
+        matches: List[Match] = []
+        for buy in sorted(self.open_buys(), key=lambda o: (o.placed, o.order_id)):
+            candidates = [
+                sell
+                for sell in self.open_sells()
+                if sell.block.length == buy.wanted_length
+                and sell.ask <= buy.bid
+            ]
+            if not candidates:
+                continue
+            best = min(
+                candidates, key=lambda s: (s.ask, s.placed, s.order_id)
+            )
+            best.withdrawn = True
+            buy.filled = True
+            matches.append(
+                Match(
+                    sell=best,
+                    buy=buy,
+                    price_per_address=best.ask,
+                    date=date,
+                )
+            )
+        return matches

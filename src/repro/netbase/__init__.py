@@ -1,0 +1,49 @@
+"""Low-level IPv4/ASN value types and data structures.
+
+This subpackage is the foundation everything else builds on:
+
+- :class:`~repro.netbase.prefix.IPv4Prefix` — immutable IPv4 CIDR prefix.
+- :class:`~repro.netbase.trie.PrefixTrie` — binary radix trie mapping
+  prefixes to values with longest-prefix-match and cover queries.
+- :class:`~repro.netbase.prefixset.PrefixSet` — set of prefixes with
+  aggregation and address-count semantics.
+- :mod:`~repro.netbase.asnum` — AS-number validation and origin sets.
+- :class:`~repro.netbase.aspath.ASPath` — AS-path model with AS_SET
+  segments and loop detection.
+- :mod:`~repro.netbase.bogons` — the Team-Cymru-style bogon reference.
+"""
+
+from repro.netbase.asnum import (
+    AS_TRANS,
+    MAX_ASN,
+    OriginSet,
+    is_private_asn,
+    is_reserved_asn,
+    validate_asn,
+)
+from repro.netbase.aspath import ASPath, ASPathSegment, SegmentType
+from repro.netbase.bogons import BOGON_PREFIXES, bogon_set, is_bogon
+from repro.netbase.prefix import IPv4Prefix, format_address, parse_address
+from repro.netbase.prefixset import PrefixSet, aggregate
+from repro.netbase.trie import PrefixTrie
+
+__all__ = [
+    "AS_TRANS",
+    "ASPath",
+    "ASPathSegment",
+    "BOGON_PREFIXES",
+    "IPv4Prefix",
+    "MAX_ASN",
+    "OriginSet",
+    "PrefixSet",
+    "PrefixTrie",
+    "SegmentType",
+    "aggregate",
+    "bogon_set",
+    "format_address",
+    "is_bogon",
+    "is_private_asn",
+    "is_reserved_asn",
+    "parse_address",
+    "validate_asn",
+]

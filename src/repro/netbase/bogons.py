@@ -1,0 +1,62 @@
+"""The bogon reference: private and reserved IPv4 address space.
+
+The paper sanitizes BGP data by removing "all routes for private and
+reserved address space" citing the Team Cymru bogon reference.  This
+module hard-codes that reference list (the classic, non-fullbogon
+variant) and exposes a fast membership check backed by a
+:class:`~repro.netbase.prefixset.PrefixSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.prefixset import PrefixSet
+
+#: The Team-Cymru-style bogon prefix list (martians), mid-2020 edition.
+BOGON_PREFIXES: Tuple[IPv4Prefix, ...] = tuple(
+    IPv4Prefix.parse(text)
+    for text in (
+        "0.0.0.0/8",          # "this" network (RFC 1122)
+        "10.0.0.0/8",         # private (RFC 1918)
+        "100.64.0.0/10",      # CGN shared space (RFC 6598)
+        "127.0.0.0/8",        # loopback (RFC 1122)
+        "169.254.0.0/16",     # link local (RFC 3927)
+        "172.16.0.0/12",      # private (RFC 1918)
+        "192.0.0.0/24",       # IETF protocol assignments (RFC 6890)
+        "192.0.2.0/24",       # TEST-NET-1 (RFC 5737)
+        "192.168.0.0/16",     # private (RFC 1918)
+        "198.18.0.0/15",      # benchmarking (RFC 2544)
+        "198.51.100.0/24",    # TEST-NET-2 (RFC 5737)
+        "203.0.113.0/24",     # TEST-NET-3 (RFC 5737)
+        "224.0.0.0/4",        # multicast (RFC 5771)
+        "240.0.0.0/4",        # future use (RFC 1112)
+    )
+)
+
+_BOGON_SET = PrefixSet(BOGON_PREFIXES)
+
+
+def bogon_set() -> PrefixSet:
+    """Return a *copy* of the bogon prefix set.
+
+    Callers that want to extend the list (e.g. with RIR-quarantined
+    space) can mutate the copy without affecting the module-level
+    reference used by :func:`is_bogon`.
+    """
+    return PrefixSet(BOGON_PREFIXES)
+
+
+def is_bogon(prefix: IPv4Prefix) -> bool:
+    """True if ``prefix`` overlaps private or reserved address space.
+
+    Overlap in either direction counts: a /6 covering 10.0.0.0/8 is as
+    unroutable as a /24 inside it.
+    """
+    if _BOGON_SET.covers(prefix):
+        return True
+    # A very short query prefix may instead *contain* a bogon block.
+    for _member in _BOGON_SET.covered_by(prefix):
+        return True
+    return False

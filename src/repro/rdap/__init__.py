@@ -1,0 +1,16 @@
+"""Registration Data Access Protocol (RDAP) substrate.
+
+A small but faithful model of the RIR RDAP service surface the paper
+uses (§4): IP-network lookups returning JSON with ``handle``,
+``startAddress``/``endAddress``, ``type`` (the inetnum status) and —
+crucially — ``parentHandle``, which lets the pipeline reconstruct the
+delegation hierarchy.  The server applies per-client token-bucket rate
+limiting (real RIR endpoints do), and the client paces itself, retries
+on 429-equivalents, and counts its queries, mirroring the paper's
+"minimize the load on RIPE's RDAP interface" concern.
+"""
+
+from repro.rdap.client import RdapClient
+from repro.rdap.server import RateLimiter, RdapServer
+
+__all__ = ["RateLimiter", "RdapClient", "RdapServer"]

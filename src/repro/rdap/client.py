@@ -1,0 +1,126 @@
+"""A polite RDAP client: pacing, retries, and query accounting.
+
+The measurement pipeline issues one query per candidate ``inetnum``.
+Against a rate-limited server the client must pace itself and back off
+on throttling; this client does both against a *virtual clock* so the
+whole interaction stays deterministic and instant in tests.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from typing import Dict, Optional
+
+from repro.errors import RdapError, RdapNotFoundError, RdapRateLimitError
+from repro.netbase.prefix import IPv4Prefix
+from repro.rdap.server import RdapServer
+
+logger = logging.getLogger(__name__)
+
+
+class VirtualClock:
+    """A clock the client advances instead of sleeping."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+
+class RdapClient:
+    """Client for one RDAP server with retry/backoff behaviour.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.rdap.server.RdapServer` to query.
+    client_id:
+        Identity used by the server's per-client rate limiter.
+    pace_seconds:
+        Idle time inserted between queries (politeness pacing).
+    max_retries:
+        Retries after throttling before giving up.
+    backoff_seconds:
+        Initial backoff, doubled per retry.
+    """
+
+    def __init__(
+        self,
+        server: RdapServer,
+        *,
+        client_id: str = "measurement",
+        pace_seconds: float = 0.05,
+        max_retries: int = 5,
+        backoff_seconds: float = 0.5,
+        clock: Optional[VirtualClock] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._server = server
+        self._client_id = client_id
+        self._pace = pace_seconds
+        self._max_retries = max_retries
+        self._backoff = backoff_seconds
+        self._clock = clock or VirtualClock()
+        self.queries_sent = 0
+        self.throttle_events = 0
+        self.not_found_count = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    def lookup_ip(self, prefix: IPv4Prefix) -> Optional[Dict[str, object]]:
+        """Query ``/ip/<prefix>``; None when the server has no object.
+
+        Raises :class:`~repro.errors.RdapError` if throttling persists
+        past ``max_retries``.
+        """
+        backoff = self._backoff
+        for attempt in range(self._max_retries + 1):
+            self._clock.sleep(self._pace)
+            self.queries_sent += 1
+            try:
+                return self._server.lookup_ip(
+                    prefix,
+                    client_id=self._client_id,
+                    now=self._clock.now(),
+                )
+            except RdapNotFoundError:
+                self.not_found_count += 1
+                return None
+            except RdapRateLimitError:
+                self.throttle_events += 1
+                logger.warning(
+                    "throttled querying %s (attempt %d/%d); backing "
+                    "off %.2fs", prefix, attempt + 1,
+                    self._max_retries + 1, backoff,
+                )
+                if attempt == self._max_retries:
+                    break
+                self._clock.sleep(backoff)
+                backoff *= 2.0
+        raise RdapError(
+            f"gave up on {prefix} after {self._max_retries} retries"
+        )
+
+    def parent_handle(self, prefix: IPv4Prefix) -> Optional[str]:
+        """Convenience: the ``parentHandle`` for ``prefix``, if any."""
+        response = self.lookup_ip(prefix)
+        if response is None:
+            return None
+        parent = response.get("parentHandle")
+        return str(parent) if parent is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"<RdapClient {self._client_id}: {self.queries_sent} queries, "
+            f"{self.throttle_events} throttles>"
+        )

@@ -1,0 +1,156 @@
+"""The RDAP server: RFC 7483-shaped responses over a WHOIS database."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import RdapNotFoundError, RdapRateLimitError
+from repro.netbase.prefix import IPv4Prefix, format_address
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject
+
+
+class RateLimiter:
+    """A token bucket driven by an explicit clock.
+
+    The simulation supplies monotonically non-decreasing timestamps (in
+    seconds); real-time behaviour is a special case where callers pass
+    ``time.monotonic()``.  ``capacity`` tokens refill at ``rate`` tokens
+    per second.
+    """
+
+    def __init__(self, rate: float, capacity: int):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self._rate = float(rate)
+        self._capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._last_time: Optional[float] = None
+
+    def try_acquire(self, now: float) -> bool:
+        """Consume one token at time ``now``; False when exhausted."""
+        if self._last_time is not None:
+            if now < self._last_time:
+                raise ValueError("clock moved backwards")
+            self._tokens = min(
+                self._capacity,
+                self._tokens + (now - self._last_time) * self._rate,
+            )
+        self._last_time = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self) -> float:
+        """How long a client must wait for the next token."""
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self._rate
+
+
+class RdapServer:
+    """Serves RDAP ``ip`` lookups for one RIR's WHOIS database.
+
+    Responses follow the RFC 7483 ``ip network`` object class closely
+    enough that parsers written for real endpoints would work:
+    ``objectClassName``, ``handle``, ``startAddress``, ``endAddress``,
+    ``type``, ``parentHandle``, ``entities``.
+
+    RDAP has no wildcard or range queries — exactly the limitation that
+    forces the paper to seed queries from a WHOIS snapshot.
+    """
+
+    def __init__(
+        self,
+        database: WhoisDatabase,
+        *,
+        rate_limit_per_second: float = 10.0,
+        burst: int = 20,
+    ):
+        self._database = database
+        self._rate = rate_limit_per_second
+        self._burst = burst
+        self._limiters: Dict[str, RateLimiter] = {}
+        self.query_count = 0
+        self.throttled_count = 0
+
+    @property
+    def database(self) -> WhoisDatabase:
+        return self._database
+
+    # -- rate limiting ---------------------------------------------------
+
+    def _limiter_for(self, client_id: str) -> RateLimiter:
+        limiter = self._limiters.get(client_id)
+        if limiter is None:
+            limiter = RateLimiter(self._rate, self._burst)
+            self._limiters[client_id] = limiter
+        return limiter
+
+    def _check_rate(self, client_id: str, now: float) -> None:
+        limiter = self._limiter_for(client_id)
+        if not limiter.try_acquire(now):
+            self.throttled_count += 1
+            raise RdapRateLimitError(
+                f"rate limit exceeded; retry in "
+                f"{limiter.seconds_until_token():.2f}s"
+            )
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup_ip(
+        self,
+        prefix: IPv4Prefix,
+        *,
+        client_id: str = "anonymous",
+        now: float = 0.0,
+    ) -> Dict[str, object]:
+        """RDAP ``/ip/<prefix>`` lookup.
+
+        Returns the most-specific registered network containing
+        ``prefix`` (the behaviour of real endpoints), raising
+        :class:`~repro.errors.RdapNotFoundError` when nothing matches
+        and :class:`~repro.errors.RdapRateLimitError` when throttled.
+        """
+        self._check_rate(client_id, now)
+        self.query_count += 1
+        exact = self._database.find_exact_prefix(prefix)
+        obj = exact or self._database.most_specific_containing(prefix)
+        if obj is None:
+            raise RdapNotFoundError(str(prefix))
+        return self._render(obj)
+
+    def _render(self, obj: InetnumObject) -> Dict[str, object]:
+        parent = self._database.parent_of(obj)
+        response: Dict[str, object] = {
+            "objectClassName": "ip network",
+            "handle": obj.handle,
+            "startAddress": format_address(obj.first),
+            "endAddress": format_address(obj.last),
+            "ipVersion": "v4",
+            "name": obj.netname,
+            "type": obj.status.value,
+            "country": "ZZ",
+            "parentHandle": parent.handle if parent is not None else None,
+            "entities": [
+                {
+                    "objectClassName": "entity",
+                    "handle": obj.org_handle,
+                    "roles": ["registrant"],
+                },
+                {
+                    "objectClassName": "entity",
+                    "handle": obj.admin_handle,
+                    "roles": ["administrative"],
+                },
+            ],
+            "rdapConformance": ["rdap_level_0"],
+        }
+        return response
+
+    def __repr__(self) -> str:
+        return (
+            f"<RdapServer over {self._database!r}, "
+            f"{self.query_count} queries served>"
+        )

@@ -1,0 +1,62 @@
+"""Five-RIR registry simulator.
+
+Models the parts of the RIR system the paper measures (§2):
+
+- :mod:`~repro.registry.rir` — the five RIRs with their Table-1
+  exhaustion timelines and policy parameters,
+- :mod:`~repro.registry.pool` — free-pool management with buddy-style
+  block splitting,
+- :mod:`~repro.registry.policy` — phase-dependent allocation policy
+  (normal → soft landing → exhausted/recovery-only),
+- :mod:`~repro.registry.waitlist` — waiting lists for approved but
+  unfulfilled requests,
+- :mod:`~repro.registry.quarantine` — the six-month quarantine applied
+  to recovered space,
+- :mod:`~repro.registry.membership` — LIR membership and fee schedules,
+- :mod:`~repro.registry.transfers` — the transfer ledger and the daily
+  transfer-statistics JSON feed,
+- :mod:`~repro.registry.registry` — the orchestrating
+  :class:`~repro.registry.registry.RIRRegistry`.
+"""
+
+from repro.registry.delegated_stats import (
+    DelegatedRecord,
+    DelegationStatus,
+    records_from_registry,
+)
+from repro.registry.membership import FeeSchedule, LIRAccount, MembershipRoster
+from repro.registry.policy import AllocationDecision, AllocationPolicy, PolicyPhase
+from repro.registry.pool import FreePool
+from repro.registry.quarantine import QuarantineQueue
+from repro.registry.registry import RegistrySystem, RIRRegistry
+from repro.registry.rir import RIR, RIRProfile, profile_for
+from repro.registry.transfers import (
+    TransferLedger,
+    TransferRecord,
+    TransferType,
+)
+from repro.registry.waitlist import WaitingList, WaitingRequest
+
+__all__ = [
+    "RIR",
+    "AllocationDecision",
+    "AllocationPolicy",
+    "DelegatedRecord",
+    "DelegationStatus",
+    "records_from_registry",
+    "FeeSchedule",
+    "FreePool",
+    "LIRAccount",
+    "MembershipRoster",
+    "PolicyPhase",
+    "QuarantineQueue",
+    "RIRProfile",
+    "RIRRegistry",
+    "RegistrySystem",
+    "TransferLedger",
+    "TransferRecord",
+    "TransferType",
+    "WaitingList",
+    "WaitingRequest",
+    "profile_for",
+]

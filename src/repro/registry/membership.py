@@ -1,0 +1,179 @@
+"""LIR membership and fee schedules.
+
+Membership matters to the reproduction for two reasons: (i) only
+members can receive or transfer space, and (ii) the annual resource
+maintenance fee enters the buy-versus-lease amortization model (§6 —
+with cheap leases and non-trivial maintenance fees, buying can take
+decades to amortize).
+
+Fee numbers approximate the 2020 public schedules cited in §2 [3, 10,
+12, 52, 86]; the amortization analysis only needs their order of
+magnitude (tens of cents to ~a dollar per address per year for small
+holders, dropping steeply with size).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MembershipError
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.rir import RIR
+
+
+@dataclass(frozen=True)
+class FeeSchedule:
+    """An RIR's annual charging model, simplified to two terms.
+
+    ``base_fee`` is the flat annual membership fee in USD; the
+    size-dependent term is a piecewise schedule over total held
+    addresses: a list of ``(addresses_up_to, annual_fee)`` steps.
+    """
+
+    rir: RIR
+    base_fee: float
+    size_steps: Tuple[Tuple[int, float], ...]
+
+    def annual_fee(self, held_addresses: int) -> float:
+        """Total annual cost for a member holding ``held_addresses``."""
+        if held_addresses < 0:
+            raise ValueError("held_addresses must be non-negative")
+        size_fee = 0.0
+        for threshold, fee in self.size_steps:
+            size_fee = fee
+            if held_addresses <= threshold:
+                break
+        return self.base_fee + size_fee
+
+    def monthly_fee_per_address(self, held_addresses: int) -> float:
+        """Maintenance cost per address per month — the amortization
+        model's input."""
+        if held_addresses <= 0:
+            return 0.0
+        return self.annual_fee(held_addresses) / held_addresses / 12.0
+
+
+#: Simplified 2020 fee schedules (USD/year).
+DEFAULT_FEE_SCHEDULES: Dict[RIR, FeeSchedule] = {
+    RIR.AFRINIC: FeeSchedule(
+        RIR.AFRINIC,
+        base_fee=950.0,
+        size_steps=((2 ** 12, 1000.0), (2 ** 16, 3400.0), (2 ** 32, 13200.0)),
+    ),
+    RIR.APNIC: FeeSchedule(
+        RIR.APNIC,
+        base_fee=1180.0,
+        size_steps=((2 ** 11, 0.0), (2 ** 16, 2480.0), (2 ** 32, 11800.0)),
+    ),
+    RIR.ARIN: FeeSchedule(
+        RIR.ARIN,
+        base_fee=0.0,
+        size_steps=((2 ** 12, 1000.0), (2 ** 16, 2000.0), (2 ** 32, 8000.0)),
+    ),
+    RIR.LACNIC: FeeSchedule(
+        RIR.LACNIC,
+        base_fee=0.0,
+        size_steps=((2 ** 12, 1050.0), (2 ** 16, 2750.0), (2 ** 32, 9100.0)),
+    ),
+    RIR.RIPE: FeeSchedule(
+        RIR.RIPE,
+        base_fee=1550.0,  # RIPE charges per LIR, flat (ripe-722)
+        size_steps=((2 ** 32, 0.0),),
+    ),
+}
+
+
+@dataclass
+class LIRAccount:
+    """One Local Internet Registry: a member of an RIR."""
+
+    org_id: str
+    rir: RIR
+    joined_on: datetime.date
+    closed_on: Optional[datetime.date] = None
+    holdings: List[IPv4Prefix] = field(default_factory=list)
+    allocation_count: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.closed_on is None
+
+    def held_addresses(self) -> int:
+        return sum(prefix.num_addresses for prefix in self.holdings)
+
+    def add_holding(self, block: IPv4Prefix) -> None:
+        self.holdings.append(block)
+        self.holdings.sort()
+
+    def remove_holding(self, block: IPv4Prefix) -> None:
+        try:
+            self.holdings.remove(block)
+        except ValueError:
+            raise MembershipError(
+                f"{self.org_id} does not hold {block}"
+            ) from None
+
+
+class MembershipRoster:
+    """The member registry of one RIR."""
+
+    def __init__(self, rir: RIR, fee_schedule: Optional[FeeSchedule] = None):
+        self._rir = rir
+        self._fees = fee_schedule or DEFAULT_FEE_SCHEDULES[rir]
+        self._accounts: Dict[str, LIRAccount] = {}
+
+    @property
+    def rir(self) -> RIR:
+        return self._rir
+
+    @property
+    def fee_schedule(self) -> FeeSchedule:
+        return self._fees
+
+    def open_account(self, org_id: str, date: datetime.date) -> LIRAccount:
+        """Register ``org_id`` as a member; idempotent re-joins rejected."""
+        existing = self._accounts.get(org_id)
+        if existing is not None and existing.active:
+            raise MembershipError(f"{org_id} is already a member")
+        account = LIRAccount(org_id=org_id, rir=self._rir, joined_on=date)
+        self._accounts[org_id] = account
+        return account
+
+    def close_account(self, org_id: str, date: datetime.date) -> LIRAccount:
+        """Close a membership; the registry reclaims its holdings."""
+        account = self.require(org_id)
+        account.closed_on = date
+        return account
+
+    def get(self, org_id: str) -> Optional[LIRAccount]:
+        return self._accounts.get(org_id)
+
+    def require(self, org_id: str) -> LIRAccount:
+        """Return the active account of ``org_id`` or raise."""
+        account = self._accounts.get(org_id)
+        if account is None or not account.active:
+            raise MembershipError(
+                f"{org_id} is not an active member of "
+                f"{self._rir.display_name}"
+            )
+        return account
+
+    def is_member(self, org_id: str) -> bool:
+        account = self._accounts.get(org_id)
+        return account is not None and account.active
+
+    def annual_fee(self, org_id: str) -> float:
+        """The member's current annual bill."""
+        account = self.require(org_id)
+        return self._fees.annual_fee(account.held_addresses())
+
+    def active_accounts(self) -> List[LIRAccount]:
+        return [a for a in self._accounts.values() if a.active]
+
+    def __len__(self) -> int:
+        return len(self.active_accounts())
+
+    def __contains__(self, org_id: str) -> bool:
+        return self.is_member(org_id)

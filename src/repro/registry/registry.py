@@ -1,0 +1,350 @@
+"""The orchestrating RIR registry and the five-registry system.
+
+:class:`RIRRegistry` glues pool, policy, waiting list, quarantine,
+membership, and the transfer ledger together into the request/recover/
+transfer lifecycle of §2.  :class:`RegistrySystem` wires all five
+registries to a *shared* transfer ledger so inter-RIR transfers appear
+consistently in both endpoint feeds.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import (
+    MembershipError,
+    PolicyError,
+    PoolExhaustedError,
+    TransferError,
+)
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.membership import FeeSchedule, LIRAccount, MembershipRoster
+from repro.registry.policy import AllocationDecision, AllocationPolicy
+from repro.registry.pool import FreePool
+from repro.registry.quarantine import QuarantineQueue
+from repro.registry.rir import RIR, profile_for
+from repro.registry.transfers import TransferLedger, TransferType
+from repro.registry.waitlist import WaitingList
+
+
+class RIRRegistry:
+    """One RIR: members, free pool, policy, waiting list, quarantine."""
+
+    def __init__(
+        self,
+        rir: RIR,
+        initial_blocks: Optional[Iterable[IPv4Prefix]] = None,
+        *,
+        ledger: Optional[TransferLedger] = None,
+        fee_schedule: Optional[FeeSchedule] = None,
+    ):
+        profile = profile_for(rir)
+        self._rir = rir
+        self._profile = profile
+        self._policy = AllocationPolicy(profile)
+        self._pool = FreePool(list(initial_blocks or []))
+        self._members = MembershipRoster(rir, fee_schedule)
+        self._waitlist = WaitingList()
+        self._quarantine = QuarantineQueue(profile.quarantine_days)
+        self._ledger = ledger if ledger is not None else TransferLedger()
+        self._holder_by_block: Dict[IPv4Prefix, str] = {}
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def rir(self) -> RIR:
+        return self._rir
+
+    @property
+    def policy(self) -> AllocationPolicy:
+        return self._policy
+
+    @property
+    def pool(self) -> FreePool:
+        return self._pool
+
+    @property
+    def members(self) -> MembershipRoster:
+        return self._members
+
+    @property
+    def waiting_list(self) -> WaitingList:
+        return self._waitlist
+
+    @property
+    def quarantine(self) -> QuarantineQueue:
+        return self._quarantine
+
+    @property
+    def ledger(self) -> TransferLedger:
+        return self._ledger
+
+    def holder_of(self, block: IPv4Prefix) -> Optional[str]:
+        """The org currently registered as holder of ``block``."""
+        return self._holder_by_block.get(block)
+
+    def holdings(self) -> Dict[IPv4Prefix, str]:
+        """A copy of the full block → holder map."""
+        return dict(self._holder_by_block)
+
+    # -- membership ------------------------------------------------------
+
+    def open_membership(self, org_id: str, date: datetime.date) -> LIRAccount:
+        """Register a new LIR."""
+        return self._members.open_account(org_id, date)
+
+    def close_membership(self, org_id: str, date: datetime.date) -> List[IPv4Prefix]:
+        """Close a membership; holdings are recovered into quarantine.
+
+        Returns the recovered blocks ("currently all RIRs recover IP
+        address space if an organization closes down", §2).
+        """
+        account = self._members.close_account(org_id, date)
+        recovered = list(account.holdings)
+        for block in recovered:
+            account.remove_holding(block)
+            del self._holder_by_block[block]
+            self._quarantine.admit(block, date)
+        return recovered
+
+    # -- allocation --------------------------------------------------------
+
+    def request_allocation(
+        self,
+        org_id: str,
+        date: datetime.date,
+        requested_length: Optional[int] = None,
+    ) -> Tuple[AllocationDecision, Optional[IPv4Prefix]]:
+        """Handle an allocation request end to end.
+
+        Returns the policy decision plus the allocated block (None when
+        denied or waitlisted).
+        """
+        account = self._members.require(org_id)
+        if requested_length is None:
+            requested_length = self._policy.max_allocation_length(date)
+        decision = self._policy.evaluate_request(
+            date,
+            requested_length,
+            existing_allocations=account.allocation_count,
+            pool_can_satisfy=self._pool.can_allocate(requested_length),
+        )
+        if not decision.approved:
+            return decision, None
+        assert decision.granted_length is not None
+        if decision.waitlisted:
+            self._waitlist.enqueue(org_id, decision.granted_length, date)
+            # RIPE-style behaviour: recovered space already in the pool
+            # serves the queue immediately, FIFO (§2 — since Nov 2019
+            # RIPE fulfilled all approved waiting-list requests).
+            for fulfilled_org, block in self._drain_waitlist(date):
+                if fulfilled_org == org_id:
+                    return decision, block
+            return decision, None
+        block = self._allocate_to(account, decision.granted_length)
+        return decision, block
+
+    def _allocate_to(self, account: LIRAccount, length: int) -> IPv4Prefix:
+        block = self._pool.allocate(length)
+        account.add_holding(block)
+        account.allocation_count += 1
+        self._holder_by_block[block] = account.org_id
+        return block
+
+    # -- recovery and ticking ------------------------------------------------
+
+    def recover(
+        self, org_id: str, block: IPv4Prefix, date: datetime.date
+    ) -> None:
+        """Reclaim ``block`` from ``org_id`` into quarantine."""
+        account = self._members.require(org_id)
+        account.remove_holding(block)
+        if self._holder_by_block.get(block) != org_id:
+            raise TransferError(f"{org_id} is not registered for {block}")
+        del self._holder_by_block[block]
+        self._quarantine.admit(block, date)
+
+    def tick(self, date: datetime.date) -> List[Tuple[str, IPv4Prefix]]:
+        """Advance registry housekeeping to ``date``.
+
+        Releases matured quarantine blocks into the pool, then fulfills
+        waiting-list requests FIFO while the pool allows.  Returns the
+        (org, block) fulfillments made.
+        """
+        for block in self._quarantine.release_due(date):
+            self._pool.add(block)
+        return self._drain_waitlist(date)
+
+    def _drain_waitlist(
+        self, date: datetime.date
+    ) -> List[Tuple[str, IPv4Prefix]]:
+        """Serve waiting-list requests FIFO while the pool allows."""
+        fulfilled: List[Tuple[str, IPv4Prefix]] = []
+        while True:
+            request = self._waitlist.next_pending()
+            if request is None:
+                break
+            if not self._pool.can_allocate(request.requested_length):
+                break
+            if not self._members.is_member(request.org_id):
+                # Member left while waiting; drop the request.
+                self._waitlist.fulfill_next(date)
+                continue
+            self._waitlist.fulfill_next(date)
+            account = self._members.require(request.org_id)
+            block = self._allocate_to(account, request.requested_length)
+            fulfilled.append((request.org_id, block))
+        return fulfilled
+
+    # -- transfers -------------------------------------------------------------
+
+    def transfer(
+        self,
+        date: datetime.date,
+        blocks: Iterable[IPv4Prefix],
+        source_org: str,
+        recipient_org: str,
+        *,
+        true_type: TransferType = TransferType.MARKET,
+        price_per_address: Optional[float] = None,
+    ):
+        """Execute an intra-RIR transfer and record it in the ledger."""
+        blocks = list(blocks)
+        source = self._members.require(source_org)
+        recipient = self._members.require(recipient_org)
+        for block in blocks:
+            self._policy.validate_transfer_block(date, block.length)
+            if self._holder_by_block.get(block) != source_org:
+                raise TransferError(
+                    f"{source_org} does not hold {block} at "
+                    f"{self._rir.display_name}"
+                )
+        for block in blocks:
+            source.remove_holding(block)
+            recipient.add_holding(block)
+            self._holder_by_block[block] = recipient_org
+        return self._ledger.record(
+            date=date,
+            prefixes=blocks,
+            source_org=source_org,
+            recipient_org=recipient_org,
+            source_rir=self._rir,
+            recipient_rir=self._rir,
+            true_type=true_type,
+            price_per_address=price_per_address,
+        )
+
+    # -- bookkeeping helpers ---------------------------------------------------
+
+    def register_external_block(
+        self, org_id: str, block: IPv4Prefix
+    ) -> None:
+        """Register a block that arrived outside the allocation path
+        (inter-RIR inbound transfers, legacy space)."""
+        account = self._members.require(org_id)
+        account.add_holding(block)
+        self._holder_by_block[block] = org_id
+
+    def deregister_block(self, org_id: str, block: IPv4Prefix) -> None:
+        """Remove a block that left this registry (inter-RIR outbound)."""
+        account = self._members.require(org_id)
+        account.remove_holding(block)
+        if self._holder_by_block.get(block) != org_id:
+            raise TransferError(f"{org_id} is not registered for {block}")
+        del self._holder_by_block[block]
+
+    def __repr__(self) -> str:
+        return (
+            f"<RIRRegistry {self._rir.display_name}: "
+            f"{len(self._members)} members, pool={self._pool!r}>"
+        )
+
+
+class RegistrySystem:
+    """All five RIRs sharing one transfer ledger."""
+
+    def __init__(
+        self,
+        initial_blocks: Optional[Dict[RIR, List[IPv4Prefix]]] = None,
+    ):
+        self._ledger = TransferLedger()
+        initial_blocks = initial_blocks or {}
+        self._registries: Dict[RIR, RIRRegistry] = {
+            rir: RIRRegistry(
+                rir, initial_blocks.get(rir, []), ledger=self._ledger
+            )
+            for rir in RIR
+        }
+
+    @property
+    def ledger(self) -> TransferLedger:
+        return self._ledger
+
+    def registry(self, rir: RIR) -> RIRRegistry:
+        return self._registries[rir]
+
+    def __getitem__(self, rir: RIR) -> RIRRegistry:
+        return self._registries[rir]
+
+    def inter_rir_transfer(
+        self,
+        date: datetime.date,
+        blocks: Iterable[IPv4Prefix],
+        source_org: str,
+        source_rir: RIR,
+        recipient_org: str,
+        recipient_rir: RIR,
+        *,
+        true_type: TransferType = TransferType.MARKET,
+        price_per_address: Optional[float] = None,
+    ):
+        """Move blocks between RIRs under the common transfer policy.
+
+        Only APNIC, ARIN, and the RIPE NCC participate (§3); the block's
+        maintaining RIR — its "region" — changes with the transfer.
+        """
+        if source_rir is recipient_rir:
+            raise TransferError("use RIRRegistry.transfer for intra-RIR moves")
+        for rir in (source_rir, recipient_rir):
+            if not profile_for(rir).inter_rir_enabled:
+                raise PolicyError(
+                    f"{rir.display_name} does not participate in "
+                    "inter-RIR transfers"
+                )
+        blocks = list(blocks)
+        source_registry = self._registries[source_rir]
+        recipient_registry = self._registries[recipient_rir]
+        source_registry.members.require(source_org)
+        recipient_registry.members.require(recipient_org)
+        for block in blocks:
+            source_registry.policy.validate_transfer_block(date, block.length)
+            if source_registry.holder_of(block) != source_org:
+                raise TransferError(
+                    f"{source_org} does not hold {block} at "
+                    f"{source_rir.display_name}"
+                )
+        for block in blocks:
+            source_registry.deregister_block(source_org, block)
+            recipient_registry.register_external_block(recipient_org, block)
+        return self._ledger.record(
+            date=date,
+            prefixes=blocks,
+            source_org=source_org,
+            recipient_org=recipient_org,
+            source_rir=source_rir,
+            recipient_rir=recipient_rir,
+            true_type=true_type,
+            price_per_address=price_per_address,
+        )
+
+    def tick(self, date: datetime.date) -> Dict[RIR, List[Tuple[str, IPv4Prefix]]]:
+        """Tick every registry; returns per-RIR waiting-list fulfillments."""
+        return {rir: reg.tick(date) for rir, reg in self._registries.items()}
+
+    def maintaining_rir(self, block: IPv4Prefix) -> Optional[RIR]:
+        """The RIR currently maintaining ``block`` (its market region)."""
+        for rir, registry in self._registries.items():
+            if registry.holder_of(block) is not None:
+                return rir
+        return None

@@ -1,0 +1,91 @@
+"""Waiting lists for approved-but-unfulfilled allocation requests.
+
+After exhaustion, ARIN/LACNIC/RIPE queue approved requests and fulfill
+them first-come-first-served from recovered space (§2: ARIN's list held
+up to 202 requests with 130+-day waits; LACNIC 275; RIPE fulfilled all
+110 after November 2019).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class WaitingRequest:
+    """One approved request sitting on the waiting list."""
+
+    org_id: str
+    requested_length: int
+    approved_on: datetime.date
+    fulfilled_on: Optional[datetime.date] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.fulfilled_on is None
+
+    def waiting_days(self, as_of: datetime.date) -> int:
+        """Days spent waiting, up to fulfillment or ``as_of``."""
+        end = self.fulfilled_on or as_of
+        return (end - self.approved_on).days
+
+
+@dataclass
+class WaitingList:
+    """FIFO waiting list of one RIR."""
+
+    requests: List[WaitingRequest] = field(default_factory=list)
+    abolished_on: Optional[datetime.date] = None
+
+    def enqueue(
+        self, org_id: str, requested_length: int, date: datetime.date
+    ) -> WaitingRequest:
+        """Append an approved request; returns the queued entry."""
+        if self.abolished_on is not None and date >= self.abolished_on:
+            raise ValueError("waiting list has been abolished")
+        request = WaitingRequest(
+            org_id=org_id,
+            requested_length=requested_length,
+            approved_on=date,
+        )
+        self.requests.append(request)
+        return request
+
+    def pending(self) -> List[WaitingRequest]:
+        """Pending requests in queue order."""
+        return [r for r in self.requests if r.pending]
+
+    def next_pending(self) -> Optional[WaitingRequest]:
+        """Head of the queue, or None."""
+        for request in self.requests:
+            if request.pending:
+                return request
+        return None
+
+    def fulfill_next(self, date: datetime.date) -> Optional[WaitingRequest]:
+        """Mark the head request fulfilled on ``date``; return it."""
+        request = self.next_pending()
+        if request is not None:
+            request.fulfilled_on = date
+        return request
+
+    def abolish(self, date: datetime.date) -> List[WaitingRequest]:
+        """Abolish the list (APNIC, July 2019); returns dropped entries."""
+        self.abolished_on = date
+        dropped = self.pending()
+        self.requests = [r for r in self.requests if not r.pending]
+        return dropped
+
+    def max_waiting_days(self, as_of: datetime.date) -> int:
+        """Longest wait experienced by any request, in days."""
+        if not self.requests:
+            return 0
+        return max(r.waiting_days(as_of) for r in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+    def __bool__(self) -> bool:
+        return bool(self.pending())

@@ -1,0 +1,19 @@
+"""RPKI substrate: ROAs, per-day snapshots, origin validation.
+
+The appendix evaluates consistency rules against delegations inferred
+from RPKI: if prefix *P* has a ROA for AS *S* and a more-specific *P'*
+has a ROA for AS *T* ≠ *S*, that is an RPKI-visible delegation.  The
+database stores per-day ROA snapshots (like the preprocessed snapshots
+of Chung et al. the paper uses) and derives those delegation timelines.
+"""
+
+from repro.rpki.database import RoaDatabase, RpkiDelegation
+from repro.rpki.roa import Roa, ValidationState, validate_origin
+
+__all__ = [
+    "Roa",
+    "RoaDatabase",
+    "RpkiDelegation",
+    "ValidationState",
+    "validate_origin",
+]

@@ -1,0 +1,90 @@
+"""Route Origin Authorizations and RFC 6811 validation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import RpkiError
+from repro.netbase.asnum import validate_asn
+from repro.netbase.prefix import IPv4Prefix
+
+
+@dataclass(frozen=True)
+class Roa:
+    """One ROA: ``asn`` may originate ``prefix`` up to ``max_length``."""
+
+    prefix: IPv4Prefix
+    asn: int
+    max_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        validate_asn(self.asn)
+        max_length = self.max_length
+        if max_length is None:
+            object.__setattr__(self, "max_length", self.prefix.length)
+        elif not self.prefix.length <= max_length <= 32:
+            raise RpkiError(
+                f"maxLength {max_length} invalid for {self.prefix}"
+            )
+
+    def authorizes(self, prefix: IPv4Prefix, origin: int) -> bool:
+        """True if this ROA validates ``(prefix, origin)``."""
+        assert self.max_length is not None
+        return (
+            origin == self.asn
+            and self.prefix.covers(prefix)
+            and prefix.length <= self.max_length
+        )
+
+    def covers(self, prefix: IPv4Prefix) -> bool:
+        """True if ``prefix`` falls under this ROA (regardless of AS)."""
+        return self.prefix.covers(prefix)
+
+    def to_csv_row(self) -> str:
+        """Serialize in the validated-ROA CSV convention."""
+        return f"AS{self.asn},{self.prefix},{self.max_length}"
+
+    @classmethod
+    def from_csv_row(cls, row: str) -> "Roa":
+        parts = [part.strip() for part in row.split(",")]
+        if len(parts) != 3 or not parts[0].upper().startswith("AS"):
+            raise RpkiError(f"malformed ROA row: {row!r}")
+        try:
+            return cls(
+                prefix=IPv4Prefix.parse(parts[1]),
+                asn=int(parts[0][2:]),
+                max_length=int(parts[2]),
+            )
+        except (ValueError, RpkiError) as exc:
+            if isinstance(exc, RpkiError):
+                raise
+            raise RpkiError(f"malformed ROA row: {row!r}") from exc
+
+
+class ValidationState(enum.Enum):
+    """RFC 6811 route-origin validation outcomes."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "not-found"
+
+
+def validate_origin(
+    roas: Iterable[Roa], prefix: IPv4Prefix, origin: int
+) -> ValidationState:
+    """Validate ``(prefix, origin)`` against a set of ROAs.
+
+    NOT_FOUND when no ROA covers the prefix; VALID when any covering
+    ROA authorizes the pair; INVALID when covering ROAs exist but none
+    authorizes it.
+    """
+    covered = False
+    for roa in roas:
+        if not roa.covers(prefix):
+            continue
+        covered = True
+        if roa.authorizes(prefix, origin):
+            return ValidationState.VALID
+    return ValidationState.INVALID if covered else ValidationState.NOT_FOUND

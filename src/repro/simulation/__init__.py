@@ -1,0 +1,33 @@
+"""The synthetic internet world.
+
+Generates every data feed the paper's pipelines consume, with the
+statistical shapes its evaluation reports:
+
+- :mod:`~repro.simulation.scenario` — scenario configuration presets,
+- :mod:`~repro.simulation.addressplan` — per-RIR address space pools,
+- :mod:`~repro.simulation.orgs` — organizations with the §6 business
+  models and their ASes,
+- :mod:`~repro.simulation.delegation_plan` — BGP-visible delegation
+  lifecycles (composition drift, on-off announcement patterns),
+- :mod:`~repro.simulation.market_history` — transfer ledger (Fig. 2,
+  Fig. 3) and the priced transaction dataset (Fig. 1),
+- :mod:`~repro.simulation.whois_gen` — the WHOIS database (§4 RDAP
+  statistics),
+- :mod:`~repro.simulation.rpki_gen` — daily ROA snapshots (Fig. 5),
+- :mod:`~repro.simulation.announce` — the per-day announcement source
+  feeding the BGP collectors (Fig. 6),
+- :mod:`~repro.simulation.exhaustion` — RIR pool-drawdown simulation
+  (Table 1),
+- :mod:`~repro.simulation.world` — the :class:`World` tying it all
+  together, deterministically from one seed.
+"""
+
+from repro.simulation.scenario import ScenarioConfig, paper_scenario, small_scenario
+from repro.simulation.world import World
+
+__all__ = [
+    "ScenarioConfig",
+    "World",
+    "paper_scenario",
+    "small_scenario",
+]

@@ -1,0 +1,108 @@
+"""The per-day BGP announcement source.
+
+Produces the world's routing intent for any date:
+
+1. every LIR announces its holdings from its primary AS,
+2. every delegation announced on that day contributes its
+   more-specific from the delegatee AS (cross-org) or the LIR's second
+   AS (intra-org),
+3. noise events — localized more-specific hijacks (restricted monitor
+   visibility, removed by the visibility filter), AS_SET-origin
+   artifacts and MOAS conflicts (removed by the unique-origin filter).
+
+All randomness is keyed on (seed, date) so any day can be regenerated
+independently and reproducibly.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import FrozenSet, List, Sequence
+
+from repro.bgp.message import Announcement
+from repro.simulation.delegation_plan import DelegationPlan
+from repro.simulation.orgs import SimOrg
+
+
+class AnnouncementSource:
+    """Callable day → announcements, for :class:`RouteStream`."""
+
+    def __init__(
+        self,
+        seed: int,
+        lirs: Sequence[SimOrg],
+        customers: Sequence[SimOrg],
+        plan: DelegationPlan,
+        monitors: FrozenSet[int],
+        *,
+        hijack_rate: float = 0.15,
+        as_set_rate: float = 0.10,
+        moas_rate: float = 0.05,
+    ):
+        self._seed = seed
+        self._lirs = list(lirs)
+        self._customers = list(customers)
+        self._plan = plan
+        self._monitors = sorted(monitors)
+        self._hijack_rate = hijack_rate
+        self._as_set_rate = as_set_rate
+        self._moas_rate = moas_rate
+        # Stable base announcements: LIR holdings never churn.
+        self._base = [
+            Announcement(holding, org.primary_asn)
+            for org in self._lirs
+            for holding in org.holdings
+        ]
+
+    def _rng_for(self, date: datetime.date) -> random.Random:
+        return random.Random(f"{self._seed}:{date.toordinal()}")
+
+    def __call__(self, date: datetime.date) -> List[Announcement]:
+        announcements = list(self._base)
+        for spec in self._plan.announced_on(date):
+            announcements.append(
+                Announcement(spec.prefix, spec.delegatee_asn)
+            )
+
+        rng = self._rng_for(date)
+        # Localized more-specific hijack: only a small monitor subset
+        # sees it, so the visibility filter must drop it.
+        if rng.random() < self._hijack_rate and self._base:
+            victim = rng.choice(self._base)
+            if victim.prefix.length <= 23:
+                target = rng.choice(list(victim.prefix.subnets(24)))
+                hijacker = rng.choice(self._customers)
+                subset = frozenset(
+                    rng.sample(
+                        self._monitors,
+                        max(1, len(self._monitors) // 5),
+                    )
+                )
+                announcements.append(
+                    Announcement(
+                        target,
+                        hijacker.primary_asn,
+                        restricted_to_monitors=subset,
+                    )
+                )
+        # AS_SET artifact: proxy aggregation leaves a set origin.
+        if rng.random() < self._as_set_rate and self._plan.specs:
+            spec = rng.choice(self._plan.specs)
+            if spec.announced_on(date):
+                announcements.append(
+                    Announcement(
+                        spec.prefix, spec.delegatee_asn, as_set_origin=True
+                    )
+                )
+        # MOAS conflict: a second AS briefly originates the same prefix.
+        if rng.random() < self._moas_rate:
+            active = self._plan.announced_on(date)
+            if active:
+                spec = rng.choice(active)
+                other = rng.choice(self._customers)
+                if other.primary_asn != spec.delegatee_asn:
+                    announcements.append(
+                        Announcement(spec.prefix, other.primary_asn)
+                    )
+        return announcements

@@ -1,0 +1,211 @@
+"""Scenario configuration for the world generator.
+
+Two presets matter:
+
+- :func:`small_scenario` — seconds-fast, for tests and examples;
+- :func:`paper_scenario` — the benchmark configuration whose outputs
+  reproduce the paper's figures at a 1:100 scale of the real RIPE
+  database (all *proportions* preserved; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.bgp.topology import TopologyConfig
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class DelegationComposition:
+    """Prefix-length composition of BGP-visible delegations.
+
+    ``start`` and ``end`` map prefix length → delegation count at the
+    window's first and last day; the generator interpolates lifecycles
+    in between.  The paper's Fig. 6 endpoints: /24 share 66 % → 72 %,
+    /20 share 7 % → 3 %, total +7 %, delegated addresses ≈ flat.
+    """
+
+    start: Dict[int, int] = field(
+        default_factory=lambda: {24: 396, 23: 60, 22: 60, 21: 38, 20: 42, 19: 4}
+    )
+    end: Dict[int, int] = field(
+        default_factory=lambda: {24: 462, 23: 58, 22: 62, 21: 27, 20: 19, 19: 14}
+    )
+
+    def validate(self) -> None:
+        for mapping in (self.start, self.end):
+            if not mapping:
+                raise ScenarioError("empty delegation composition")
+            for length, count in mapping.items():
+                if not 8 <= length <= 24 or count < 0:
+                    raise ScenarioError(
+                        f"bad composition entry /{length}: {count}"
+                    )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything the world generator needs, in one frozen object."""
+
+    seed: int = 42
+
+    # -- population ---------------------------------------------------
+    lir_count: int = 60
+    customer_count: int = 220
+    #: Fraction of LIRs with a second AS (feeds intra-org delegations).
+    second_as_fraction: float = 0.35
+
+    # -- topology / collectors -----------------------------------------
+    topology: TopologyConfig = field(
+        default_factory=lambda: TopologyConfig(
+            tier1_count=6, mid_count=80, stub_count=400
+        )
+    )
+    collector_names: Tuple[str, ...] = ("rrc00", "route-views2", "isolario")
+    monitors_per_collector: int = 8
+
+    # -- BGP measurement window (Fig. 6) ---------------------------------
+    bgp_start: datetime.date = datetime.date(2018, 1, 1)
+    bgp_end: datetime.date = datetime.date(2020, 6, 1)
+    delegations: DelegationComposition = field(
+        default_factory=DelegationComposition
+    )
+    #: Fraction of BGP delegations with on-off announcement patterns.
+    onoff_fraction: float = 0.55
+    #: Fraction of intra-organization more-specific announcements,
+    #: relative to the cross-org delegation count (removed by ext. iv).
+    intra_org_fraction: float = 0.40
+    #: VPN-provider rotation chains (§6): customers that continuously
+    #: lease but "rotate" the actual prefixes every few weeks.  Each
+    #: chain contributes one active /24 delegation at all times, with
+    #: the prefix itself changing.
+    vpn_rotation_chains: int = 20
+    #: Days between prefix rotations (mean; jittered per segment).
+    vpn_rotation_period_days: int = 45
+    #: Daily probability of a localized more-specific hijack.
+    hijack_rate: float = 0.15
+    #: Daily probability of an AS_SET-origin artifact.
+    as_set_rate: float = 0.10
+
+    # -- WHOIS / RDAP (§4) -----------------------------------------------
+    #: Registered-only leases (in RDAP, invisible in BGP): prefix
+    #: length → object count.  Sized so BGP delegations cover ≈1.85 %
+    #: of RDAP-delegated IPs at the paper's 1:100 scale.
+    registered_only_composition: Dict[int, int] = field(
+        default_factory=lambda: {17: 200, 18: 420, 19: 350, 20: 280, 21: 90}
+    )
+    #: ≥/24 ASSIGNED PA objects that are intra-organization (filtered
+    #: by the RDAP pipeline's registrant/admin test).
+    assigned_intra_org_large_count: int = 1300
+    #: Fraction of ASSIGNED PA smaller than /24 (paper: 91.4 %) — the
+    #: generator derives the small-object count from this.
+    assigned_small_fraction: float = 0.914
+    #: SUB-ALLOCATED PA objects (paper: ~4.5k; 1:100 scale).
+    sub_allocated_count: int = 45
+    #: Fraction of BGP-delegated addresses also registered in RDAP
+    #: (paper: ~65.7 %).
+    rdap_overlap_fraction: float = 0.657
+    #: Prefix length of each LIR's allocation (holding).
+    lir_holding_length: int = 12
+
+    # -- RPKI (Fig. 5) --------------------------------------------------------
+    #: RPKI-visible delegations — "an order of magnitude less ...
+    #: compared to BGP" (appendix A), i.e. ~a tenth of the ~600 BGP
+    #: delegations.
+    rpki_delegation_count: int = 64
+    #: Fraction of RPKI delegations with flappy ROA continuity.
+    rpki_flappy_fraction: float = 0.18
+    rpki_stable_absence_rate: float = 0.001
+    rpki_flappy_absence_rate: float = 0.06
+
+    # -- market (Fig. 1, 2, 3) ----------------------------------------------------
+    market_start: datetime.date = datetime.date(2009, 10, 1)
+    market_end: datetime.date = datetime.date(2020, 6, 25)
+    pricing_start: datetime.date = datetime.date(2016, 1, 1)
+    #: Mean per-quarter *priced* transactions by region (paper ranges:
+    #: APNIC 8–23, ARIN 83–196, RIPE 12–19 → ≈2.9k total).
+    priced_per_quarter: Dict[str, Tuple[int, int]] = field(
+        default_factory=lambda: {
+            "apnic": (8, 23),
+            "arin": (83, 196),
+            "ripencc": (12, 19),
+        }
+    )
+    #: Total priced AFRINIC+LACNIC transactions in the whole window
+    #: (paper: 31, excluded from the analysis).
+    priced_minor_regions_total: int = 31
+    #: Mean per-quarter transfer-ledger counts at market maturity.
+    transfers_per_quarter: Dict[str, int] = field(
+        default_factory=lambda: {
+            "apnic": 160, "arin": 260, "ripencc": 520,
+            "afrinic": 3, "lacnic": 4,
+        }
+    )
+    #: Fraction of intra-RIR transfers that are M&A consolidations.
+    mna_fraction: float = 0.22
+    #: RIPE's year-end seasonal factor (Fig. 2 pattern).
+    ripe_q4_factor: float = 1.6
+
+    def validate(self) -> None:
+        if self.lir_count < 2 or self.customer_count < 1:
+            raise ScenarioError("need at least two LIRs and one customer")
+        for fraction in (
+            self.second_as_fraction,
+            self.onoff_fraction,
+            self.intra_org_fraction,
+            self.hijack_rate,
+            self.as_set_rate,
+            self.assigned_small_fraction,
+            self.rdap_overlap_fraction,
+            self.rpki_flappy_fraction,
+            self.mna_fraction,
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise ScenarioError(f"fraction out of range: {fraction}")
+        if self.bgp_start >= self.bgp_end:
+            raise ScenarioError("empty BGP window")
+        if self.market_start >= self.market_end:
+            raise ScenarioError("empty market window")
+        self.delegations.validate()
+        self.topology.validate()
+
+
+def small_scenario(seed: int = 42) -> ScenarioConfig:
+    """A fast scenario for tests and examples (seconds, not minutes)."""
+    return ScenarioConfig(
+        seed=seed,
+        lir_count=16,
+        customer_count=40,
+        topology=TopologyConfig(tier1_count=4, mid_count=12, stub_count=70),
+        monitors_per_collector=4,
+        bgp_start=datetime.date(2020, 1, 1),
+        bgp_end=datetime.date(2020, 3, 1),
+        delegations=DelegationComposition(
+            start={24: 20, 23: 4, 22: 4, 21: 2, 20: 3, 19: 1},
+            end={24: 24, 23: 4, 22: 4, 21: 2, 20: 2, 19: 1},
+        ),
+        registered_only_composition={18: 6, 19: 8, 20: 10, 21: 6},
+        assigned_intra_org_large_count=20,
+        vpn_rotation_chains=3,
+        vpn_rotation_period_days=15,  # short window -> faster rotation
+        sub_allocated_count=8,
+        rpki_delegation_count=40,
+        market_start=datetime.date(2015, 1, 1),
+        market_end=datetime.date(2020, 6, 25),
+        transfers_per_quarter={
+            "apnic": 12, "arin": 20, "ripencc": 30,
+            "afrinic": 1, "lacnic": 1,
+        },
+        priced_per_quarter={
+            "apnic": (3, 6), "arin": (10, 20), "ripencc": (4, 8),
+        },
+        priced_minor_regions_total=5,
+    )
+
+
+def paper_scenario(seed: int = 42) -> ScenarioConfig:
+    """The benchmark scenario (1:100 scale of the real datasets)."""
+    return ScenarioConfig(seed=seed)

@@ -1,0 +1,201 @@
+"""WHOIS database generation (§4's RDAP input).
+
+Builds the RIPE-style database for the world:
+
+- one ``ALLOCATED PA`` inetnum per LIR holding,
+- ``ASSIGNED PA`` objects for registered-only leases (the part of the
+  leasing market invisible in BGP), for the RDAP-registered BGP
+  delegations, for intra-organization assignments, and for the mass of
+  sub-/24 customer assignments (91.4 % of all ASSIGNED PA in the real
+  June 2020 snapshot),
+- a small set of cross-org ``SUB-ALLOCATED PA`` objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.pool import FreePool
+from repro.simulation.delegation_plan import DelegationPlan
+from repro.simulation.orgs import SimOrg
+from repro.simulation.scenario import ScenarioConfig
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus, OrgObject
+
+
+@dataclass
+class WhoisBuildReport:
+    """What the generator put into the database."""
+
+    allocated: int = 0
+    assigned_large_cross_org: int = 0
+    assigned_large_intra_org: int = 0
+    assigned_small: int = 0
+    sub_allocated: int = 0
+    registered_bgp_delegations: int = 0
+
+    @property
+    def assigned_total(self) -> int:
+        return (
+            self.assigned_large_cross_org
+            + self.assigned_large_intra_org
+            + self.assigned_small
+        )
+
+
+def _inetnum_for_prefix(
+    prefix: IPv4Prefix,
+    netname: str,
+    status: InetnumStatus,
+    org_handle: str,
+    admin_handle: str,
+) -> InetnumObject:
+    return InetnumObject(
+        first=prefix.network,
+        last=prefix.broadcast,
+        netname=netname,
+        status=status,
+        org_handle=org_handle,
+        admin_handle=admin_handle,
+    )
+
+
+def _pick_lir_with_space(
+    rng: random.Random,
+    lirs: Sequence[SimOrg],
+    pools: Dict[str, FreePool],
+    length: int,
+) -> SimOrg:
+    # Fast path: random probes (the common case — pools rarely fill up).
+    for _ in range(6):
+        org = rng.choice(list(lirs)) if not isinstance(lirs, list) else rng.choice(lirs)
+        if pools[org.org_id].can_allocate(length):
+            return org
+    candidates = [
+        org for org in lirs if pools[org.org_id].can_allocate(length)
+    ]
+    if not candidates:
+        raise SimulationError(f"no LIR pool can carve a /{length}")
+    return rng.choice(candidates)
+
+
+def build_whois_database(
+    rng: random.Random,
+    config: ScenarioConfig,
+    lirs: Sequence[SimOrg],
+    customers: Sequence[SimOrg],
+    plan: DelegationPlan,
+    carve_pools: Dict[str, FreePool],
+) -> "tuple[WhoisDatabase, WhoisBuildReport]":
+    """Build the WHOIS database for the world's RIPE region."""
+    database = WhoisDatabase("RIPE")
+    report = WhoisBuildReport()
+
+    for org in list(lirs) + list(customers):
+        database.add_org(OrgObject(org.whois_org_handle, org.name))
+
+    lir_by_holding: Dict[IPv4Prefix, SimOrg] = {}
+    for org in lirs:
+        for holding in org.holdings:
+            database.add_inetnum(
+                _inetnum_for_prefix(
+                    holding,
+                    netname=f"{org.org_id.upper()}-NET",
+                    status=InetnumStatus.ALLOCATED_PA,
+                    org_handle=org.whois_org_handle,
+                    admin_handle=org.admin_handle,
+                )
+            )
+            lir_by_holding[holding] = org
+            report.allocated += 1
+
+    # -- registered BGP delegations (the §4 overlap) ----------------------
+    for spec in plan.cross_org():
+        if not spec.rdap_registered or spec.delegatee_org is None:
+            continue
+        database.add_inetnum(
+            _inetnum_for_prefix(
+                spec.prefix,
+                netname=f"LEASE-{spec.delegatee_org.org_id.upper()}",
+                status=InetnumStatus.ASSIGNED_PA,
+                org_handle=spec.delegatee_org.whois_org_handle,
+                admin_handle=spec.delegatee_org.admin_handle,
+            )
+        )
+        report.registered_bgp_delegations += 1
+        report.assigned_large_cross_org += 1
+
+    # -- registered-only leases (invisible in BGP) ---------------------------
+    for length, count in sorted(config.registered_only_composition.items()):
+        for _ in range(count):
+            lir = _pick_lir_with_space(rng, lirs, carve_pools, length)
+            prefix = carve_pools[lir.org_id].allocate(length)
+            customer = rng.choice(customers)
+            database.add_inetnum(
+                _inetnum_for_prefix(
+                    prefix,
+                    netname=f"RESERVED-{customer.org_id.upper()}",
+                    status=InetnumStatus.ASSIGNED_PA,
+                    org_handle=customer.whois_org_handle,
+                    admin_handle=customer.admin_handle,
+                )
+            )
+            report.assigned_large_cross_org += 1
+
+    # -- sub-allocations (cross-org, /20../22) ----------------------------------
+    for _ in range(config.sub_allocated_count):
+        length = rng.choice([20, 21, 22])
+        lir = _pick_lir_with_space(rng, lirs, carve_pools, length)
+        prefix = carve_pools[lir.org_id].allocate(length)
+        customer = rng.choice(customers)
+        database.add_inetnum(
+            _inetnum_for_prefix(
+                prefix,
+                netname=f"SUBALLOC-{customer.org_id.upper()}",
+                status=InetnumStatus.SUB_ALLOCATED_PA,
+                org_handle=customer.whois_org_handle,
+                admin_handle=customer.admin_handle,
+            )
+        )
+        report.sub_allocated += 1
+
+    # -- intra-organization ≥/24 assignments -----------------------------------
+    for index in range(config.assigned_intra_org_large_count):
+        lir = _pick_lir_with_space(rng, lirs, carve_pools, 24)
+        prefix = carve_pools[lir.org_id].allocate(24)
+        database.add_inetnum(
+            _inetnum_for_prefix(
+                prefix,
+                netname=f"INFRA-{lir.org_id.upper()}-{index}",
+                status=InetnumStatus.ASSIGNED_PA,
+                org_handle=f"ORG-DIV-{index % 7}",  # a division handle
+                admin_handle=lir.admin_handle,      # same admin: intra-org
+            )
+        )
+        report.assigned_large_intra_org += 1
+
+    # -- the mass of sub-/24 customer assignments -------------------------------
+    large_total = (
+        report.assigned_large_cross_org + report.assigned_large_intra_org
+    )
+    fraction = config.assigned_small_fraction
+    small_total = round(large_total * fraction / (1.0 - fraction))
+    for index in range(small_total):
+        lir = _pick_lir_with_space(rng, lirs, carve_pools, 29)
+        prefix = carve_pools[lir.org_id].allocate(29)
+        database.add_inetnum(
+            _inetnum_for_prefix(
+                prefix,
+                netname=f"CUST-{index}",
+                status=InetnumStatus.ASSIGNED_PA,
+                org_handle=f"ORG-END-{index}",
+                admin_handle=lir.admin_handle,
+            )
+        )
+        report.assigned_small += 1
+
+    return database, report

@@ -1,0 +1,32 @@
+"""WHOIS database substrate (RIPE-style).
+
+Models the slice of the RIPE database the paper uses (§4):
+
+- ``inetnum`` objects with the delegation-relevant status taxonomy
+  (``ALLOCATED PA``, ``ASSIGNED PA``, ``SUB-ALLOCATED PA``, ...),
+- ``organisation`` objects for registrant/admin matching (the paper's
+  intra-organization filter compares registrant and admin handles),
+- split-file snapshot dumps mirroring ``ftp.ripe.net/ripe/dbase/split``.
+"""
+
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus, OrgObject
+from repro.whois.server import WhoisServer
+from repro.whois.snapshot import (
+    parse_snapshot,
+    read_snapshot_file,
+    render_snapshot,
+    write_snapshot_file,
+)
+
+__all__ = [
+    "InetnumObject",
+    "InetnumStatus",
+    "OrgObject",
+    "WhoisDatabase",
+    "WhoisServer",
+    "parse_snapshot",
+    "read_snapshot_file",
+    "render_snapshot",
+    "write_snapshot_file",
+]

@@ -1,0 +1,149 @@
+"""The WHOIS database: object store with hierarchy queries.
+
+Stores ``inetnum`` and ``organisation`` objects and answers the
+hierarchy question the RDAP pipeline needs: *which stored object is the
+immediate parent of this range?*  Parenthood follows registry
+convention — the smallest strictly-containing range wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ObjectNotFoundError, WhoisError
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+from repro.whois.inetnum import InetnumObject, InetnumStatus, OrgObject
+
+
+class WhoisDatabase:
+    """In-memory WHOIS database for one RIR region."""
+
+    def __init__(self, source: str = "RIPE"):
+        self._source = source
+        self._inetnums: Dict[Tuple[int, int], InetnumObject] = {}
+        self._orgs: Dict[str, OrgObject] = {}
+        # Trie of lists: several non-aligned ranges can share a primary
+        # prefix.
+        self._index: PrefixTrie[List[InetnumObject]] = PrefixTrie()
+
+    @property
+    def source(self) -> str:
+        return self._source
+
+    # -- organisations ----------------------------------------------------
+
+    def add_org(self, org: OrgObject) -> None:
+        if org.handle in self._orgs:
+            raise WhoisError(f"duplicate organisation: {org.handle}")
+        self._orgs[org.handle] = org
+
+    def org(self, handle: str) -> OrgObject:
+        try:
+            return self._orgs[handle]
+        except KeyError:
+            raise ObjectNotFoundError(handle) from None
+
+    def orgs(self) -> List[OrgObject]:
+        return sorted(self._orgs.values(), key=lambda o: o.handle)
+
+    # -- inetnums ------------------------------------------------------------
+
+    def add_inetnum(self, obj: InetnumObject) -> None:
+        """Insert an ``inetnum``; exact-range duplicates are rejected."""
+        key = obj.key()
+        if key in self._inetnums:
+            raise WhoisError(f"duplicate inetnum: {obj.range_text()}")
+        self._inetnums[key] = obj
+        primary = obj.primary_prefix()
+        bucket = self._index.get(primary)
+        if bucket is None:
+            bucket = []
+            self._index.insert(primary, bucket)
+        bucket.append(obj)
+
+    def remove_inetnum(self, obj: InetnumObject) -> None:
+        key = obj.key()
+        if key not in self._inetnums:
+            raise ObjectNotFoundError(obj.range_text())
+        del self._inetnums[key]
+        primary = obj.primary_prefix()
+        bucket = self._index.get(primary)
+        if bucket is not None:
+            bucket.remove(obj)
+            if not bucket:
+                self._index.delete(primary)
+
+    def inetnum(self, first: int, last: int) -> InetnumObject:
+        try:
+            return self._inetnums[(first, last)]
+        except KeyError:
+            raise ObjectNotFoundError(f"{first}-{last}") from None
+
+    def inetnums(self) -> Iterator[InetnumObject]:
+        """All inetnums, range-sorted (outermost first on ties)."""
+        yield from sorted(
+            self._inetnums.values(), key=lambda o: (o.first, -o.last)
+        )
+
+    def by_status(self, status: InetnumStatus) -> List[InetnumObject]:
+        """All inetnums with the given ``status:`` value."""
+        return [obj for obj in self.inetnums() if obj.status is status]
+
+    def __len__(self) -> int:
+        return len(self._inetnums)
+
+    def __contains__(self, obj: InetnumObject) -> bool:
+        return obj.key() in self._inetnums
+
+    # -- hierarchy ---------------------------------------------------------------
+
+    def parent_of(self, obj: InetnumObject) -> Optional[InetnumObject]:
+        """The immediate parent: smallest strictly-containing range."""
+        best: Optional[InetnumObject] = None
+        for _prefix, bucket in self._index.covering(obj.primary_prefix()):
+            for candidate in bucket:
+                if not candidate.properly_contains(obj):
+                    continue
+                if best is None or best.contains(candidate):
+                    best = candidate
+        return best
+
+    def children_of(self, obj: InetnumObject) -> List[InetnumObject]:
+        """Immediate children of ``obj`` (ranges directly below it)."""
+        children: List[InetnumObject] = []
+        for _prefix, bucket in self._index.covered(obj.primary_prefix()):
+            for candidate in bucket:
+                if candidate is obj or not obj.properly_contains(candidate):
+                    continue
+                children.append(candidate)
+        # Keep only those whose immediate parent is obj.
+        return [
+            child for child in children if self.parent_of(child) == obj
+        ]
+
+    def find_exact_prefix(self, prefix: IPv4Prefix) -> Optional[InetnumObject]:
+        """The inetnum whose range equals ``prefix``, if any."""
+        return self._inetnums.get((prefix.network, prefix.broadcast))
+
+    def most_specific_containing(
+        self, prefix: IPv4Prefix
+    ) -> Optional[InetnumObject]:
+        """Smallest inetnum whose range covers all of ``prefix``."""
+        best: Optional[InetnumObject] = None
+        for _stored, bucket in self._index.covering(prefix):
+            for candidate in bucket:
+                if not (
+                    candidate.first <= prefix.network
+                    and prefix.broadcast <= candidate.last
+                ):
+                    continue
+                if best is None or best.contains(candidate):
+                    best = candidate
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"<WhoisDatabase {self._source}: {len(self._inetnums)} inetnums, "
+            f"{len(self._orgs)} orgs>"
+        )

@@ -1,0 +1,105 @@
+"""A WHOIS query server (port-43 semantics).
+
+RDAP is "designed to eventually replace the WHOIS protocol" (§4); the
+paper uses both a WHOIS snapshot and the RDAP interface.  This server
+completes the pair: classic WHOIS query semantics over the same
+database, with the RIPE-style flags that matter for hierarchy walks:
+
+- bare query — most-specific object containing the queried range,
+- ``-L`` — all less-specific objects (the containment chain),
+- ``-m`` — one-level more-specific objects,
+- ``-x`` — exact match only.
+
+Responses are RPSL text, like a real whois client would print.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import WhoisError
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject
+from repro.whois.snapshot import render_snapshot
+
+_ERROR_NO_MATCH = "%ERROR:101: no entries found"
+_ERROR_SYNTAX = "%ERROR:108: bad syntax"
+
+
+def _parse_query(query: str) -> Tuple[List[str], Optional[IPv4Prefix]]:
+    """Split a query line into (flags, target prefix)."""
+    flags: List[str] = []
+    target_text: Optional[str] = None
+    for token in query.split():
+        if token.startswith("-"):
+            flags.append(token)
+        elif target_text is None:
+            target_text = token
+        else:
+            raise WhoisError("multiple search terms")
+    if target_text is None:
+        raise WhoisError("missing search term")
+    if "/" in target_text:
+        prefix = IPv4Prefix.parse(target_text, strict=False)
+    else:
+        prefix = IPv4Prefix(parse_address(target_text), 32)
+    return flags, prefix
+
+
+class WhoisServer:
+    """Serves WHOIS text queries over a :class:`WhoisDatabase`."""
+
+    def __init__(self, database: WhoisDatabase):
+        self._database = database
+        self.query_count = 0
+
+    @property
+    def database(self) -> WhoisDatabase:
+        return self._database
+
+    # -- query handling -----------------------------------------------
+
+    def query(self, line: str) -> str:
+        """Answer one query line with an RPSL text response."""
+        self.query_count += 1
+        try:
+            flags, prefix = _parse_query(line)
+        except (WhoisError, Exception) as exc:  # noqa: BLE001 - protocol edge
+            if isinstance(exc, (WhoisError, ValueError)):
+                return _ERROR_SYNTAX
+            raise
+        objects = self._resolve(flags, prefix)
+        if not objects:
+            return _ERROR_NO_MATCH
+        return render_snapshot(objects).rstrip("\n")
+
+    def _resolve(
+        self, flags: List[str], prefix: IPv4Prefix
+    ) -> List[InetnumObject]:
+        exact = self._database.find_exact_prefix(prefix)
+        if "-x" in flags:
+            return [exact] if exact is not None else []
+        best = exact or self._database.most_specific_containing(prefix)
+        if best is None:
+            return []
+        if "-L" in flags:
+            chain: List[InetnumObject] = [best]
+            current = best
+            while True:
+                parent = self._database.parent_of(current)
+                if parent is None:
+                    break
+                chain.append(parent)
+                current = parent
+            # Outermost first, like RIPE's whois output.
+            return list(reversed(chain))
+        if "-m" in flags:
+            return self._database.children_of(best)
+        return [best]
+
+    def __repr__(self) -> str:
+        return (
+            f"<WhoisServer over {self._database!r}, "
+            f"{self.query_count} queries served>"
+        )

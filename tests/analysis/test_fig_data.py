@@ -1,0 +1,89 @@
+"""Tests for the figure-data CSV exporter."""
+
+import csv
+import datetime
+
+import pytest
+
+from repro.analysis.fig_data import (
+    export_fig1_prices,
+    export_fig2_transfers,
+    export_fig4_leasing,
+    export_fig5_rules,
+    export_fig6_series,
+)
+from repro.delegation import (
+    DelegationInference,
+    InferenceConfig,
+    evaluate_rules_on_rpki,
+)
+from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(small_scenario())
+
+
+def read_csv(path):
+    with open(path, encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestExports:
+    def test_fig1(self, world, tmp_path):
+        path = export_fig1_prices(
+            world.priced_transactions(), tmp_path / "fig1.csv"
+        )
+        rows = read_csv(path)
+        assert rows
+        assert {"year", "bucket", "region", "median"} <= set(rows[0])
+        for row in rows:
+            assert float(row["q1"]) <= float(row["median"]) <= float(row["q3"])
+
+    def test_fig2(self, world, tmp_path):
+        path = export_fig2_transfers(
+            world.transfer_ledger(), tmp_path / "fig2.csv"
+        )
+        rows = read_csv(path)
+        regions = {row["region"] for row in rows}
+        assert "ripencc" in regions
+        assert all(int(row["transfers"]) >= 0 for row in rows)
+
+    def test_fig4(self, world, tmp_path):
+        path = export_fig4_leasing(
+            world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE,
+            tmp_path / "fig4.csv",
+        )
+        rows = read_csv(path)
+        providers = {row["provider"] for row in rows}
+        assert len(providers) == 21
+        prices = [float(row["price_per_ip_month"]) for row in rows]
+        assert min(prices) == pytest.approx(0.30)
+
+    def test_fig5(self, world, tmp_path):
+        evaluations = evaluate_rules_on_rpki(world.rpki(), [5, 10], [0, 1])
+        path = export_fig5_rules(evaluations, tmp_path / "fig5.csv")
+        rows = read_csv(path)
+        assert len(rows) == 4
+        assert all(0.0 <= float(row["fail_rate"]) <= 1.0 for row in rows)
+
+    def test_fig6(self, world, tmp_path):
+        start = world.config.bgp_start
+        end = start + datetime.timedelta(days=10)
+        extended = DelegationInference(
+            InferenceConfig.extended(), world.as2org()
+        ).infer_range(world.stream(), start, end)
+        baseline = DelegationInference(
+            InferenceConfig.baseline()
+        ).infer_range(world.stream(), start, end)
+        path = export_fig6_series(
+            extended, baseline, tmp_path / "fig6.csv"
+        )
+        rows = read_csv(path)
+        assert len(rows) == 10
+        for row in rows:
+            assert int(row["baseline_count"]) >= int(row["extended_count"])

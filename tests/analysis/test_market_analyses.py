@@ -1,0 +1,178 @@
+"""Tests for the Fig. 1/2/3/4 analyses on the small world."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.interrir import (
+    blocks_shrink,
+    counts_increase,
+    inter_rir_flows,
+    inter_rir_trend,
+    net_flow_by_rir,
+)
+from repro.analysis.leasing_prices import (
+    price_changes,
+    provider_series,
+    summarize_leasing_prices,
+)
+from repro.analysis.prices import (
+    consolidation_quarter,
+    doubling_factor,
+    mean_price_per_ip,
+    quarterly_price_stats,
+    regional_price_difference,
+)
+from repro.analysis.report import render_comparison, render_table
+from repro.analysis.transfers import (
+    market_start_dates,
+    market_starts_after_last_slash8,
+    seasonal_ratio,
+    transfer_counts,
+)
+from repro.registry.rir import RIR
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(small_scenario())
+
+
+class TestFig1Prices:
+    def test_quarterly_stats_cover_buckets(self, world):
+        stats = quarterly_price_stats(world.priced_transactions())
+        assert stats
+        buckets = {s.bucket for s in stats}
+        assert "/24" in buckets and "/16" in buckets
+        for s in stats:
+            assert s.stats.minimum <= s.stats.median <= s.stats.maximum
+
+    def test_no_regional_difference(self, world):
+        # No true regional effect exists, so the p-value is uniform
+        # noise; assert it is not decisively significant.
+        _h, p = regional_price_difference(world.priced_transactions())
+        assert p > 0.01
+
+    def test_prices_doubled(self, world):
+        factor = doubling_factor(world.priced_transactions())
+        assert 1.7 < factor < 2.4
+
+    def test_mean_2020_price(self, world):
+        mean = mean_price_per_ip(
+            world.priced_transactions(), D(2020, 1, 1), D(2020, 6, 25)
+        )
+        assert mean == pytest.approx(22.5, rel=0.08)
+
+    def test_consolidation_detected_spring_2019(self, world):
+        quarter = consolidation_quarter(world.priced_transactions())
+        assert quarter is not None
+        year, q = quarter
+        assert (year, q) in [(2019, 1), (2019, 2), (2019, 3)]
+
+    def test_small_blocks_cost_more(self, world):
+        dataset = world.priced_transactions().in_window(
+            D(2019, 6, 1), D(2020, 6, 1)
+        )
+        small = dataset.for_lengths([24]).prices()
+        large = dataset.for_lengths([17, 18, 19, 20]).prices()
+        assert sum(small) / len(small) > sum(large) / len(large)
+
+
+class TestFig2Transfers:
+    def test_counts_by_region(self, world):
+        counts = transfer_counts(world.transfer_ledger())
+        assert counts[RIR.RIPE]
+        assert counts[RIR.ARIN]
+        total_ripe = sum(c for _d, c in counts[RIR.RIPE])
+        total_lacnic = sum(c for _d, c in counts[RIR.LACNIC])
+        assert total_ripe > 10 * max(1, total_lacnic)
+
+    def test_market_starts_align_with_last_slash8(self, world):
+        verdict = market_starts_after_last_slash8(world.transfer_ledger())
+        assert all(verdict.values())
+
+    def test_market_start_dates(self, world):
+        starts = market_start_dates(world.transfer_ledger())
+        # RIPE's market exists and starts no earlier than its last /8.
+        assert starts[RIR.RIPE] is not None
+        assert starts[RIR.RIPE] >= D(2012, 7, 1)
+
+    def test_ripe_q4_seasonality(self, world):
+        counts = transfer_counts(world.transfer_ledger())
+        ratio = seasonal_ratio(counts[RIR.RIPE])
+        assert ratio > 1.15
+
+    def test_mna_removal_reduces_counts(self, world):
+        ledger = world.transfer_ledger()
+        market_only = transfer_counts(ledger)
+        ripe_market = sum(c for _d, c in market_only[RIR.RIPE])
+        ripe_all = len(ledger.intra_rir(RIR.RIPE))
+        assert ripe_market < ripe_all  # labelled M&A removed
+
+
+class TestFig3InterRir:
+    def test_flows_dominated_by_arin_outflow(self, world):
+        flows = inter_rir_flows(world.transfer_ledger())
+        arin_out = sum(
+            count for (src, _dst), count in flows.items() if src is RIR.ARIN
+        )
+        total = sum(flows.values())
+        assert arin_out > total * 0.5
+
+    def test_trend_claims(self, world):
+        trend = inter_rir_trend(world.transfer_ledger())
+        assert counts_increase(trend)
+        assert blocks_shrink(trend)
+
+    def test_net_flow(self, world):
+        net = net_flow_by_rir(world.transfer_ledger())
+        assert net[RIR.ARIN] < 0
+        assert sum(net.values()) == 0
+
+
+class TestFig4Leasing:
+    def test_summary(self, world):
+        summary = summarize_leasing_prices(
+            world.scrape_log(), D(2019, 10, 26), D(2020, 6, 1)
+        )
+        assert summary.provider_count == 21
+        assert summary.min_price == pytest.approx(0.30)
+        assert summary.max_price == pytest.approx(3.90)
+        assert set(summary.changed_providers) == {
+            "Heficed", "IPv4Mall", "IP-AS"
+        }
+        assert summary.max_spike_ratio > 10
+        assert not summary.converged
+        assert summary.bundled_vs_pure_pvalue > 0.05  # no structural gap
+
+    def test_provider_series_and_changes(self, world):
+        records = world.scrape_log().scrape_series(
+            D(2019, 10, 26), D(2020, 6, 1), 7
+        )
+        series = provider_series(records)
+        assert len(series["Heficed"]) > 20
+        changes = price_changes(records)
+        heficed = changes["Heficed"]
+        assert heficed[0][1] == 0.65 and heficed[0][2] == 0.40
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(
+            ["a", "bb"], [["1", "2"], ["333", "4"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_comparison(self):
+        text = render_comparison("X", [["m", 1, 2]])
+        assert "paper" in text and "measured" in text

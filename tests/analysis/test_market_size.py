@@ -1,0 +1,66 @@
+"""Direct tests for the §4 market-size estimator."""
+
+import pytest
+
+from repro.analysis.market_size import estimate_market_size
+from repro.delegation.model import RdapDelegation
+from repro.netbase.prefix import IPv4Prefix
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+def rdap(prefix_text):
+    prefix = p(prefix_text)
+    return RdapDelegation(
+        child_first=prefix.network,
+        child_last=prefix.broadcast,
+        child_handle=str(prefix),
+        parent_handle="parent",
+        status="ASSIGNED PA",
+    )
+
+
+class TestEstimate:
+    def test_disjoint_sources_sum(self):
+        estimate = estimate_market_size(
+            [p("193.0.4.0/24")], [rdap("193.0.64.0/20")]
+        )
+        assert estimate.combined_addresses == 256 + 4096
+        assert estimate.bgp_only_addresses == 256
+        assert estimate.rdap_only_addresses == 4096
+
+    def test_nested_sources_no_double_count(self):
+        estimate = estimate_market_size(
+            [p("193.0.64.0/24")], [rdap("193.0.64.0/20")]
+        )
+        assert estimate.combined_addresses == 4096
+        assert estimate.bgp_only_addresses == 0
+        assert estimate.rdap_only_addresses == 4096 - 256
+
+    def test_underestimate_factor(self):
+        estimate = estimate_market_size(
+            [p("193.0.4.0/24")], [rdap("193.0.64.0/20")]
+        )
+        assert estimate.bgp_alone_underestimates_by == pytest.approx(
+            (256 + 4096) / 256
+        )
+
+    def test_empty_bgp_gives_infinite_factor(self):
+        estimate = estimate_market_size([], [rdap("193.0.64.0/20")])
+        assert estimate.bgp_alone_underestimates_by == float("inf")
+
+    def test_duplicate_bgp_prefixes_collapse(self):
+        estimate = estimate_market_size(
+            [p("193.0.4.0/24"), p("193.0.4.0/24")], []
+        )
+        assert estimate.coverage.bgp_delegations == 1
+
+    def test_summary_lines(self):
+        estimate = estimate_market_size(
+            [p("193.0.4.0/24")], [rdap("193.0.64.0/20")]
+        )
+        lines = estimate.summary_lines()
+        assert any("Combined market size" in line for line in lines)
+        assert len(lines) == 5

@@ -1,0 +1,154 @@
+"""Tests for the M&A-inference heuristic and its evaluation."""
+
+import datetime
+
+import pytest
+
+from repro.analysis.mna_heuristic import (
+    HeuristicEvaluation,
+    MnaHeuristic,
+    MnaHeuristicConfig,
+    corrected_market_counts,
+    evaluate_heuristic,
+    parameter_sensitivity,
+)
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.rir import RIR
+from repro.registry.transfers import TransferLedger, TransferType
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+def make_ledger():
+    ledger = TransferLedger()
+    # Single-block market sale.
+    ledger.record(D(2020, 1, 1), [p("1.0.0.0/24")], "a", "b",
+                  RIR.APNIC, RIR.APNIC, TransferType.MARKET)
+    # Three-block M&A consolidation.
+    ledger.record(D(2020, 1, 2),
+                  [p("1.0.4.0/24"), p("1.0.8.0/23"), p("1.0.16.0/22")],
+                  "c", "d", RIR.APNIC, RIR.APNIC,
+                  TransferType.MERGER_ACQUISITION)
+    # Two-block market sale (the hard case).
+    ledger.record(D(2020, 1, 3), [p("1.1.0.0/24"), p("1.1.2.0/24")],
+                  "e", "f", RIR.APNIC, RIR.APNIC, TransferType.MARKET)
+    return ledger
+
+
+class TestClassifier:
+    def test_block_count_rule(self):
+        ledger = make_ledger()
+        heuristic = MnaHeuristic(MnaHeuristicConfig(min_blocks=3))
+        records = ledger.records()
+        assert heuristic.classify(records[0]) is TransferType.MARKET
+        assert (
+            heuristic.classify(records[1])
+            is TransferType.MERGER_ACQUISITION
+        )
+        assert heuristic.classify(records[2]) is TransferType.MARKET
+
+    def test_address_rule(self):
+        ledger = make_ledger()
+        heuristic = MnaHeuristic(
+            MnaHeuristicConfig(min_blocks=10, min_addresses=1024)
+        )
+        records = ledger.records()
+        assert heuristic.classify(records[0]) is TransferType.MARKET
+        assert (
+            heuristic.classify(records[1])
+            is TransferType.MERGER_ACQUISITION
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MnaHeuristicConfig(min_blocks=0)
+        with pytest.raises(ValueError):
+            MnaHeuristicConfig(min_addresses=0)
+
+
+class TestEvaluation:
+    def test_confusion_matrix(self):
+        ledger = make_ledger()
+        heuristic = MnaHeuristic(MnaHeuristicConfig(min_blocks=2))
+        evaluation = evaluate_heuristic(ledger.records(), heuristic)
+        # min_blocks=2 catches the M&A but also the 2-block market sale.
+        assert evaluation.true_positive == 1
+        assert evaluation.false_positive == 1
+        assert evaluation.true_negative == 1
+        assert evaluation.false_negative == 0
+        assert evaluation.precision == pytest.approx(0.5)
+        assert evaluation.recall == 1.0
+        assert 0 < evaluation.f1 < 1
+
+    def test_strict_threshold_improves_precision(self):
+        ledger = make_ledger()
+        loose = evaluate_heuristic(
+            ledger.records(), MnaHeuristic(MnaHeuristicConfig(min_blocks=2))
+        )
+        strict = evaluate_heuristic(
+            ledger.records(), MnaHeuristic(MnaHeuristicConfig(min_blocks=3))
+        )
+        assert strict.precision > loose.precision
+
+    def test_degenerate_metrics(self):
+        empty = HeuristicEvaluation(0, 0, 0, 0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+
+    def test_region_filter(self):
+        ledger = make_ledger()
+        ledger.record(D(2020, 2, 1), [p("193.0.0.0/24")], "x", "y",
+                      RIR.RIPE, RIR.RIPE, TransferType.MARKET)
+        heuristic = MnaHeuristic()
+        apnic_only = evaluate_heuristic(
+            ledger.records(), heuristic, regions=[RIR.APNIC]
+        )
+        assert apnic_only.total == 3
+
+
+class TestOnWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return World(small_scenario())
+
+    def test_heuristic_works_on_generated_market(self, world):
+        ledger = world.transfer_ledger()
+        heuristic = MnaHeuristic(MnaHeuristicConfig(min_blocks=2))
+        evaluation = evaluate_heuristic(
+            ledger.records(), heuristic,
+            regions=[RIR.APNIC, RIR.LACNIC],
+        )
+        assert evaluation.recall > 0.95          # all M&A is multi-block
+        assert evaluation.precision > 0.6        # 2-block market tail hurts
+        assert evaluation.f1 > 0.75
+
+    def test_sensitivity_sweep_shape(self, world):
+        sweep = parameter_sensitivity(
+            world.transfer_ledger(), (1, 2, 3, 5),
+            regions=[RIR.APNIC, RIR.LACNIC],
+        )
+        by_param = {param: ev for param, ev in sweep}
+        # min_blocks=1 flags everything: recall 1, terrible precision.
+        assert by_param[1].recall == 1.0
+        assert by_param[1].precision < 0.5
+        # Precision grows monotonically with the threshold.
+        precisions = [by_param[k].precision for k in (1, 2, 3)]
+        assert precisions == sorted(precisions)
+        # Recall decays once the threshold passes real M&A sizes.
+        assert by_param[5].recall < by_param[2].recall
+
+    def test_corrected_counts(self, world):
+        heuristic = MnaHeuristic(MnaHeuristicConfig(min_blocks=2))
+        counts = corrected_market_counts(
+            world.transfer_ledger(), heuristic, RIR.APNIC
+        )
+        assert counts["raw"] == (
+            counts["classified_mna"] + counts["corrected_market"]
+        )
+        assert 0 < counts["classified_mna"] < counts["raw"]

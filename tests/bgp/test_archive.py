@@ -1,0 +1,138 @@
+"""Tests for RIB+update archives and the missing-file fallback."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.archive import ArchiveWindowReader, write_window
+from repro.bgp.collector import Collector, CollectorSystem
+from repro.bgp.message import Announcement
+from repro.bgp.propagation import PropagationModel
+from repro.bgp.topology import ASTopology
+from repro.errors import CollectorDataError
+from repro.netbase.prefix import IPv4Prefix
+
+D = datetime.date
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+@pytest.fixture
+def system():
+    t = ASTopology()
+    for asn, tier in [(10, 1), (11, 1), (20, 2), (30, 3), (31, 3)]:
+        t.add_as(asn, tier=tier)
+    t.add_peering(10, 11)
+    t.add_customer_provider(20, 10)
+    t.add_customer_provider(30, 20)
+    t.add_customer_provider(31, 20)
+    return CollectorSystem(
+        [Collector("rrc00", [10, 11])], PropagationModel(t)
+    )
+
+
+def changing_source(date):
+    """Prefix set changes day by day: announce, change origin, drop."""
+    announcements = [Announcement(p("101.0.0.0/16"), 30)]
+    if date.day % 3 != 0:
+        announcements.append(Announcement(p("101.0.4.0/24"), 31))
+    if date.day >= 4:
+        announcements.append(Announcement(p("101.1.0.0/24"), 30))
+    return announcements
+
+
+def record_set(records):
+    return {
+        (r.collector, r.monitor_asn, r.prefix, str(r.as_path))
+        for r in records
+    }
+
+
+class TestWriteAndReplay:
+    def test_replay_matches_direct_generation(self, system, tmp_path):
+        start, end = D(2020, 1, 1), D(2020, 1, 9)
+        write_window(
+            system, changing_source, start, end, tmp_path,
+            rib_every_days=4,
+        )
+        reader = ArchiveWindowReader(tmp_path)
+        for date in [D(2020, 1, d) for d in range(1, 9)]:
+            replayed = record_set(reader.records_on(date))
+            direct = record_set(
+                system.records_for_day(changing_source(date), date)
+            )
+            assert replayed == direct, f"mismatch on {date}"
+
+    def test_update_days_are_small_files(self, system, tmp_path):
+        paths = write_window(
+            system, changing_source, D(2020, 1, 1), D(2020, 1, 10),
+            tmp_path, rib_every_days=8,
+        )
+        ribs = [path for path in paths if path.endswith(".rib.jsonl")]
+        updates = [path for path in paths if path.endswith(".updates.jsonl")]
+        assert len(ribs) == 2  # day 0 and day 8
+        assert len(updates) == 7
+
+    def test_missing_archive_dir(self, tmp_path):
+        with pytest.raises(CollectorDataError):
+            ArchiveWindowReader(tmp_path / "nope")
+
+
+class TestFallback:
+    def test_missing_update_file_falls_back_to_next_rib(
+        self, system, tmp_path
+    ):
+        import pathlib
+
+        write_window(
+            system, changing_source, D(2020, 1, 1), D(2020, 1, 9),
+            tmp_path, rib_every_days=4,
+        )
+        # Delete an update file in the middle of the first segment.
+        victim = pathlib.Path(tmp_path) / "rrc00" / "2020-01-03.updates.jsonl"
+        assert victim.exists()
+        victim.unlink()
+
+        reader = ArchiveWindowReader(tmp_path)
+        replayed = record_set(reader.records_on(D(2020, 1, 3)))
+        assert reader.fallbacks_used == 1
+        # The paper's fallback substitutes the next RIB's state (the
+        # 2020-01-05 snapshot), not the true 01-03 state.
+        next_rib_state = record_set(
+            system.records_for_day(
+                changing_source(D(2020, 1, 5)), D(2020, 1, 5)
+            )
+        )
+        assert {(c, m, prefix) for c, m, prefix, _ in replayed} == {
+            (c, m, prefix) for c, m, prefix, _ in next_rib_state
+        }
+
+    def test_no_rib_anywhere_raises(self, system, tmp_path):
+        import pathlib
+
+        write_window(
+            system, changing_source, D(2020, 1, 1), D(2020, 1, 4),
+            tmp_path, rib_every_days=10,
+        )
+        rib = pathlib.Path(tmp_path) / "rrc00" / "2020-01-01.rib.jsonl"
+        rib.unlink()
+        reader = ArchiveWindowReader(tmp_path, max_lookahead_days=3)
+        with pytest.raises(CollectorDataError):
+            list(reader.records_on(D(2020, 1, 2)))
+
+    def test_missing_update_without_later_rib_raises(
+        self, system, tmp_path
+    ):
+        import pathlib
+
+        write_window(
+            system, changing_source, D(2020, 1, 1), D(2020, 1, 6),
+            tmp_path, rib_every_days=10,
+        )
+        victim = pathlib.Path(tmp_path) / "rrc00" / "2020-01-03.updates.jsonl"
+        victim.unlink()
+        reader = ArchiveWindowReader(tmp_path, max_lookahead_days=3)
+        with pytest.raises(CollectorDataError):
+            list(reader.records_on(D(2020, 1, 4)))

@@ -1,0 +1,73 @@
+"""End-to-end dataset generation and reloading."""
+
+import datetime
+import json
+
+import pytest
+
+from repro.bgp.collector import CollectorSystem
+from repro.datasets import (
+    generate_all,
+    load_leasing_scrapes,
+    load_priced_transactions,
+    load_transfer_ledger,
+    load_whois_snapshot,
+)
+from repro.errors import DatasetError
+from repro.simulation import World, small_scenario
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(small_scenario())
+
+
+@pytest.fixture(scope="module")
+def manifest(world, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("dataset")
+    return generate_all(world, directory, include_rpki=False)
+
+
+class TestGenerate:
+    def test_manifest_written(self, manifest, tmp_path_factory):
+        assert manifest.transfer_feeds
+        assert manifest.collector_days
+        with open(f"{manifest.root}/manifest.json", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["root"] == manifest.root
+
+    def test_transfer_round_trip(self, world, manifest):
+        ledger = load_transfer_ledger(f"{manifest.root}/transfers")
+        assert len(ledger) == len(world.transfer_ledger())
+        # Inter-RIR records must not be double counted.
+        assert len(ledger.inter_rir()) == len(
+            world.transfer_ledger().inter_rir()
+        )
+
+    def test_pricing_round_trip(self, world, manifest):
+        dataset = load_priced_transactions(manifest.priced_transactions)
+        assert len(dataset) == len(world.priced_transactions())
+
+    def test_whois_round_trip(self, world, manifest):
+        database = load_whois_snapshot(manifest.whois_snapshot)
+        assert len(database) == len(world.whois())
+
+    def test_leasing_round_trip(self, manifest):
+        records = load_leasing_scrapes(manifest.leasing_scrapes)
+        providers = {record.provider for record in records}
+        assert len(providers) == 21
+
+    def test_collector_archive_readable(self, world, manifest):
+        date = D.fromisoformat(manifest.collector_days[0])
+        records = list(
+            CollectorSystem.read_day(manifest.collector_archive, date)
+        )
+        assert records
+        in_memory = list(world.stream().records_on(date))
+        assert len(records) == len(in_memory)
+
+    def test_loaders_reject_missing(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_transfer_ledger(tmp_path)

@@ -1,0 +1,161 @@
+"""Unit tests for the consistency-rule machinery."""
+
+import datetime
+
+import pytest
+
+from repro.delegation.consistency import (
+    ConsistencyRule,
+    evaluate_rule,
+    fail_rate,
+    fill_gaps,
+)
+from repro.delegation.model import DailyDelegations
+from repro.netbase.prefix import IPv4Prefix
+
+D = datetime.date
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+def grid(first, count):
+    return [first + datetime.timedelta(days=i) for i in range(count)]
+
+
+KEY = (p("193.0.4.0/24"), 100, 200)
+CONFLICT_KEY = (p("193.0.4.0/24"), 100, 300)  # same prefix, other delegatee
+OTHER_KEY = (p("193.0.8.0/24"), 100, 300)
+
+
+class TestRuleValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ConsistencyRule(0, 0)
+        with pytest.raises(ValueError):
+            ConsistencyRule(5, -1)
+
+
+class TestEvaluateRule:
+    def test_no_gap_no_violation(self):
+        dates = grid(D(2020, 1, 1), 11)
+        timelines = {KEY: dates}
+        premises, violations = evaluate_rule(
+            timelines, ConsistencyRule(10, 0), dates
+        )
+        assert premises == 1  # exactly one pair 10 days apart
+        assert violations == 0
+
+    def test_gap_violates_strict_rule(self):
+        dates = grid(D(2020, 1, 1), 11)
+        observed = [d for d in dates if d != D(2020, 1, 5)]
+        premises, violations = evaluate_rule(
+            {KEY: observed}, ConsistencyRule(10, 0), dates
+        )
+        assert premises == 1 and violations == 1
+
+    def test_gap_allowed_with_n(self):
+        dates = grid(D(2020, 1, 1), 11)
+        observed = [d for d in dates if d != D(2020, 1, 5)]
+        premises, violations = evaluate_rule(
+            {KEY: observed}, ConsistencyRule(10, 1), dates
+        )
+        assert premises == 1 and violations == 0
+
+    def test_data_gaps_are_not_premises(self):
+        # Observation grid itself misses a day inside the span.
+        dates = [d for d in grid(D(2020, 1, 1), 11) if d != D(2020, 1, 5)]
+        timelines = {KEY: dates}
+        premises, _ = evaluate_rule(timelines, ConsistencyRule(10, 0), dates)
+        assert premises == 0
+
+    def test_multiple_premises(self):
+        dates = grid(D(2020, 1, 1), 21)
+        premises, violations = evaluate_rule(
+            {KEY: dates}, ConsistencyRule(10, 0), dates
+        )
+        assert premises == 11  # days 0..10 can each start a pair
+        assert violations == 0
+
+    def test_fail_rate(self):
+        dates = grid(D(2020, 1, 1), 11)
+        observed = [d for d in dates if d != D(2020, 1, 5)]
+        rate = fail_rate({KEY: observed}, ConsistencyRule(10, 0), dates)
+        assert rate == 1.0
+        assert fail_rate({}, ConsistencyRule(10, 0), dates) == 0.0
+
+    def test_monotone_in_n(self):
+        dates = grid(D(2020, 1, 1), 31)
+        observed = [d for i, d in enumerate(dates) if i % 4 != 3]
+        rates = [
+            fail_rate({KEY: observed}, ConsistencyRule(12, n), dates)
+            for n in range(4)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestFillGaps:
+    def _daily(self, present_dates, key=KEY):
+        daily = DailyDelegations()
+        for date in present_dates:
+            daily.record(date, [key])
+        return daily
+
+    def test_fills_short_gap(self):
+        dates = grid(D(2020, 1, 1), 6)
+        daily = self._daily([dates[0], dates[5]])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        for date in dates:
+            assert KEY in filled.on(date)
+
+    def test_does_not_fill_beyond_m(self):
+        dates = grid(D(2020, 1, 1), 15)
+        daily = self._daily([dates[0], dates[14]])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        assert KEY not in filled.on(dates[7])
+
+    def test_conflict_blocks_fill(self):
+        dates = grid(D(2020, 1, 1), 6)
+        daily = self._daily([dates[0], dates[5]])
+        daily.record(dates[2], [CONFLICT_KEY])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        assert KEY not in filled.on(dates[1])
+        assert KEY not in filled.on(dates[3])
+        # Conflicting key untouched.
+        assert CONFLICT_KEY in filled.on(dates[2])
+
+    def test_other_prefix_does_not_conflict(self):
+        dates = grid(D(2020, 1, 1), 6)
+        daily = self._daily([dates[0], dates[5]])
+        daily.record(dates[2], [OTHER_KEY])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        assert KEY in filled.on(dates[3])
+
+    def test_fill_only_observation_days(self):
+        # Weekly observation grid: fill lands on grid days only.
+        dates = [D(2020, 1, 1) + datetime.timedelta(days=7 * i)
+                 for i in range(3)]
+        daily = self._daily([dates[0], dates[1]])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        # Gap of 7 days <= 10 but no observation day in between: nothing
+        # new recorded, nothing invented off-grid.
+        assert filled.dates() == [dates[0], dates[1]]
+
+    def test_original_untouched(self):
+        dates = grid(D(2020, 1, 1), 6)
+        daily = self._daily([dates[0], dates[5]])
+        fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        assert KEY not in daily.on(dates[2])
+
+    def test_variance_reduction_effect(self):
+        """Gap filling flattens an on-off pattern (Fig. 6's point)."""
+        dates = grid(D(2020, 1, 1), 30)
+        on_off = [d for i, d in enumerate(dates) if i % 2 == 0]
+        daily = self._daily(on_off)
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        counts_before = [daily.count_on(d) for d in dates]
+        counts_after = [filled.count_on(d) for d in dates]
+        assert max(counts_before) - min(counts_before) == 1
+        # After filling every day between first and last sighting is on.
+        assert counts_after[:29] == [1] * 29

@@ -1,0 +1,89 @@
+"""Tests for inference-result persistence."""
+
+import datetime
+
+import pytest
+
+from repro.delegation.io import (
+    read_daily_delegations,
+    write_daily_delegations,
+)
+from repro.delegation.model import DailyDelegations
+from repro.errors import DatasetError
+from repro.netbase.prefix import IPv4Prefix
+
+D = datetime.date
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+@pytest.fixture
+def daily():
+    daily = DailyDelegations()
+    daily.record(D(2020, 1, 1), [
+        (p("193.0.4.0/24"), 100, 200),
+        (p("193.0.8.0/23"), 100, 300),
+    ])
+    daily.record(D(2020, 1, 2), [(p("193.0.4.0/24"), 100, 200)])
+    return daily
+
+
+class TestRoundTrip:
+    def test_lossless(self, daily, tmp_path):
+        path = write_daily_delegations(daily, tmp_path / "delegations.jsonl")
+        loaded = read_daily_delegations(path)
+        assert loaded.dates() == daily.dates()
+        for date in daily.dates():
+            assert loaded.on(date) == daily.on(date)
+
+    def test_counts_and_addresses_survive(self, daily, tmp_path):
+        path = write_daily_delegations(daily, tmp_path / "d.jsonl")
+        loaded = read_daily_delegations(path)
+        for date in daily.dates():
+            assert loaded.count_on(date) == daily.count_on(date)
+            assert loaded.addresses_on(date) == daily.addresses_on(date)
+
+    def test_empty(self, tmp_path):
+        path = write_daily_delegations(
+            DailyDelegations(), tmp_path / "empty.jsonl"
+        )
+        assert len(read_daily_delegations(path)) == 0
+
+    def test_blank_lines_tolerated(self, daily, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_daily_delegations(daily, path)
+        content = path.read_text()
+        path.write_text(content.replace("\n", "\n\n"))
+        assert len(read_daily_delegations(path)) == 2
+
+    @pytest.mark.parametrize("junk", [
+        "not json",
+        '{"date": "2020-01-01"}',
+        '{"date": "nope", "delegations": []}',
+        '{"date": "2020-01-01", "delegations": [["x", 1]]}',
+    ])
+    def test_malformed_rejected(self, tmp_path, junk):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(junk + "\n")
+        with pytest.raises(DatasetError):
+            read_daily_delegations(path)
+
+    def test_inference_result_round_trip(self, tmp_path):
+        """The real pipeline's output persists and reloads."""
+        from repro.delegation import DelegationInference, InferenceConfig
+        from repro.simulation import World, small_scenario
+
+        world = World(small_scenario())
+        inference = DelegationInference(
+            InferenceConfig.extended(), world.as2org()
+        )
+        start = world.config.bgp_start
+        result = inference.infer_range(
+            world.stream(), start, start + datetime.timedelta(days=5)
+        )
+        path = write_daily_delegations(result.daily, tmp_path / "run.jsonl")
+        loaded = read_daily_delegations(path)
+        for date in result.daily.dates():
+            assert loaded.on(date) == result.daily.on(date)

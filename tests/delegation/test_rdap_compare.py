@@ -1,0 +1,140 @@
+"""Tests for the RDAP extraction pipeline and BGP/RDAP comparison."""
+
+import pytest
+
+from repro.delegation.compare import compare_delegations
+from repro.delegation.model import RdapDelegation
+from repro.delegation.rdap_extract import (
+    RdapExtractionStats,
+    extract_rdap_delegations,
+)
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.rdap.client import RdapClient
+from repro.rdap.server import RdapServer
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+def inet(first, last, status, org, admin):
+    return InetnumObject(
+        first=parse_address(first),
+        last=parse_address(last),
+        netname="NET",
+        status=status,
+        org_handle=org,
+        admin_handle=admin,
+    )
+
+
+@pytest.fixture
+def database():
+    db = WhoisDatabase()
+    # LIR allocation.
+    db.add_inetnum(inet("193.0.0.0", "193.0.255.255",
+                        InetnumStatus.ALLOCATED_PA, "ORG-LIR", "AC-LIR"))
+    # Real delegation: customer assignment, /24-sized.
+    db.add_inetnum(inet("193.0.4.0", "193.0.4.255",
+                        InetnumStatus.ASSIGNED_PA, "ORG-CUST", "AC-CUST"))
+    # Sub-allocation to another org (/22-sized).
+    db.add_inetnum(inet("193.0.8.0", "193.0.11.255",
+                        InetnumStatus.SUB_ALLOCATED_PA, "ORG-SUB", "AC-SUB"))
+    # Intra-org assignment: same admin as the LIR.
+    db.add_inetnum(inet("193.0.5.0", "193.0.5.255",
+                        InetnumStatus.ASSIGNED_PA, "ORG-LIR2", "AC-LIR"))
+    # Tiny assignment, smaller than /24: must be skipped unqueried.
+    db.add_inetnum(inet("193.0.6.0", "193.0.6.63",
+                        InetnumStatus.ASSIGNED_PA, "ORG-TINY", "AC-TINY"))
+    # Non-delegation-related status.
+    db.add_inetnum(inet("193.0.7.0", "193.0.7.255",
+                        InetnumStatus.ASSIGNED_PI, "ORG-PI", "AC-PI"))
+    return db
+
+
+@pytest.fixture
+def client(database):
+    server = RdapServer(database, rate_limit_per_second=1e6, burst=10**6)
+    return RdapClient(server, pace_seconds=0.0)
+
+
+class TestExtraction:
+    def test_pipeline(self, database, client):
+        stats = RdapExtractionStats()
+        delegations = extract_rdap_delegations(
+            database.inetnums(), client, stats=stats
+        )
+        handles = {d.child_handle for d in delegations}
+        assert "193.0.4.0 - 193.0.4.255" in handles      # real delegation
+        assert "193.0.8.0 - 193.0.11.255" in handles     # sub-allocation
+        assert "193.0.5.0 - 193.0.5.255" not in handles  # intra-org
+        assert "193.0.6.0 - 193.0.6.63" not in handles   # < /24
+        assert "193.0.7.0 - 193.0.7.255" not in handles  # PI space
+
+    def test_stats(self, database, client):
+        stats = RdapExtractionStats()
+        extract_rdap_delegations(database.inetnums(), client, stats=stats)
+        assert stats.assigned_total == 3
+        assert stats.sub_allocated_total == 1
+        assert stats.smaller_than_24 == 1
+        assert stats.intra_org == 1
+        assert stats.delegations == 2
+        assert stats.assigned_smaller_than_24_fraction == pytest.approx(1 / 3)
+
+    def test_small_blocks_never_queried(self, database, client):
+        extract_rdap_delegations(database.inetnums(), client)
+        # 3 candidates queried (4.0/24, 5.0/24, 8.0/22) + parent lookups;
+        # the /26 contributed zero queries.
+        assert client.queries_sent >= 3
+
+    def test_no_parent_counted(self, client, database):
+        stats = RdapExtractionStats()
+        orphan = inet("8.0.0.0", "8.0.0.255",
+                      InetnumStatus.ASSIGNED_PA, "ORG-X", "AC-X")
+        database.add_inetnum(orphan)
+        extract_rdap_delegations([orphan], client, stats=stats)
+        assert stats.no_parent == 1
+        assert stats.delegations == 0
+
+    def test_delegation_record_fields(self, database, client):
+        delegations = extract_rdap_delegations(database.inetnums(), client)
+        by_handle = {d.child_handle: d for d in delegations}
+        real = by_handle["193.0.4.0 - 193.0.4.255"]
+        assert real.parent_handle == "193.0.0.0 - 193.0.255.255"
+        assert real.status == "ASSIGNED PA"
+        assert real.addresses == 256
+        assert real.prefixes() == [p("193.0.4.0/24")]
+
+
+class TestCompare:
+    def test_paper_shape_asymmetry(self):
+        """BGP sees few of RDAP's IPs; RDAP sees most of BGP's."""
+        rdap = [
+            RdapDelegation(
+                child_first=p("193.0.0.0/18").network,
+                child_last=p("193.0.0.0/18").broadcast,
+                child_handle="big", parent_handle="top",
+                status="SUB-ALLOCATED PA",
+            )
+        ]
+        bgp = [p("193.0.4.0/24"), p("193.0.5.0/24"), p("8.0.0.0/24")]
+        report = compare_delegations(bgp, rdap)
+        assert report.bgp_delegations == 3
+        assert report.rdap_delegations == 1
+        # 512 of 16384 RDAP addresses visible in BGP.
+        assert report.bgp_over_rdap == pytest.approx(512 / 16384)
+        # 512 of 768 BGP addresses registered in RDAP.
+        assert report.rdap_over_bgp == pytest.approx(512 / 768)
+
+    def test_empty_sides(self):
+        report = compare_delegations([], [])
+        assert report.bgp_over_rdap == 0.0
+        assert report.rdap_over_bgp == 0.0
+
+    def test_summary_lines(self):
+        report = compare_delegations([p("193.0.4.0/24")], [])
+        lines = report.summary_lines()
+        assert len(lines) == 4
+        assert any("BGP" in line for line in lines)

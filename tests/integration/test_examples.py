@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 3
+    assert "quickstart.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_buy_or_lease_accepts_arguments():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "buy_or_lease.py"), "22", "5"],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "/22" in completed.stdout

@@ -1,0 +1,82 @@
+"""Tests for the buy-and-lease-back model."""
+
+import math
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market.leaseback import LeaseBackDeal
+
+
+def deal(**overrides):
+    defaults = dict(
+        sold_addresses=4096,
+        sale_price_per_ip=22.5,
+        leased_back_addresses=1024,
+        lease_price_per_ip_month=0.50,
+        repurchase_price_per_ip=25.0,
+    )
+    defaults.update(overrides)
+    return LeaseBackDeal(**defaults)
+
+
+class TestCashFlow:
+    def test_cash_now(self):
+        assert deal().cash_now == pytest.approx(4096 * 22.5)
+
+    def test_monthly_cost(self):
+        assert deal().monthly_cost == pytest.approx(512.0)
+
+    def test_net_position(self):
+        d = deal()
+        assert d.net_position(0) == d.cash_now
+        assert d.net_position(12) == pytest.approx(d.cash_now - 12 * 512.0)
+        with pytest.raises(MarketError):
+            d.net_position(-1)
+
+    def test_months_until_negative(self):
+        d = deal()
+        months = d.months_until_negative()
+        assert months == pytest.approx(d.cash_now / d.monthly_cost)
+        assert d.net_position(int(months) + 1) < 0
+
+    def test_plain_sale_never_negative(self):
+        d = deal(leased_back_addresses=0, repurchase_price_per_ip=None)
+        assert d.monthly_cost == 0
+        assert d.months_until_negative() == math.inf
+
+
+class TestDealQuality:
+    def test_effective_sale_fraction(self):
+        assert deal().effective_sale_fraction == pytest.approx(0.75)
+        assert deal(
+            leased_back_addresses=4096
+        ).effective_sale_fraction == 0.0
+
+    def test_repurchase_option(self):
+        d = deal()
+        assert d.repurchase_cost(256) == pytest.approx(256 * 25.0)
+        no_option = deal(repurchase_price_per_ip=None)
+        with pytest.raises(MarketError):
+            no_option.repurchase_cost(256)
+        with pytest.raises(MarketError):
+            d.repurchase_cost(-1)
+
+    def test_rationality_check(self):
+        d = deal(lease_price_per_ip_month=0.50)
+        assert d.is_rational_versus_plain_lease(0.60)
+        assert not d.is_rational_versus_plain_lease(0.40)
+
+
+class TestValidation:
+    def test_invalid_deals(self):
+        with pytest.raises(MarketError):
+            deal(sold_addresses=0)
+        with pytest.raises(MarketError):
+            deal(leased_back_addresses=5000)
+        with pytest.raises(MarketError):
+            deal(sale_price_per_ip=0)
+        with pytest.raises(MarketError):
+            deal(lease_price_per_ip_month=-1)
+        with pytest.raises(MarketError):
+            deal(repurchase_price_per_ip=0)

@@ -1,0 +1,206 @@
+"""Unit tests for leasing providers and the amortization model."""
+
+import datetime
+import math
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market.amortization import (
+    AmortizationScenario,
+    amortization_grid,
+    amortization_months,
+    amortization_years,
+    summarize_grid,
+)
+from repro.market.leasing import (
+    FIRST_SCRAPE,
+    SECOND_WAVE,
+    LeaseAgreement,
+    LeasingProvider,
+    ScrapeLog,
+    default_leasing_providers,
+)
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.rir import RIR
+
+D = datetime.date
+
+
+class TestLeasingProvider:
+    def test_price_timeline_steps(self):
+        provider = LeasingProvider(
+            name="X",
+            listed_since=D(2019, 10, 26),
+            price_timeline=((D(2019, 10, 26), 1.0), (D(2020, 1, 1), 2.0)),
+        )
+        assert provider.advertised_price(D(2019, 12, 1)) == 1.0
+        assert provider.advertised_price(D(2020, 1, 1)) == 2.0
+        assert provider.advertised_price(D(2019, 1, 1)) is None
+
+    def test_monthly_cost(self):
+        provider = LeasingProvider(
+            name="X",
+            listed_since=D(2019, 10, 26),
+            price_timeline=((D(2019, 10, 26), 0.50),),
+            discount_for_commitment=0.10,
+        )
+        assert provider.monthly_cost(24, D(2020, 1, 1)) == 128.0
+        assert provider.monthly_cost(24, D(2020, 1, 1), 12) == \
+            pytest.approx(128.0 * 0.9)
+        with pytest.raises(MarketError):
+            provider.monthly_cost(24, D(2019, 1, 1))
+        with pytest.raises(MarketError):
+            provider.monthly_cost(24, D(2020, 1, 1), 0)
+
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            LeasingProvider("X", D(2020, 1, 1), ())
+        with pytest.raises(MarketError):
+            LeasingProvider(
+                "X", D(2020, 1, 1),
+                ((D(2020, 2, 1), 1.0), (D(2020, 1, 1), 2.0)),
+            )
+        with pytest.raises(MarketError):
+            LeasingProvider("X", D(2020, 1, 1), ((D(2020, 1, 1), 0.0),))
+
+
+class TestDefaultProviders:
+    @pytest.fixture
+    def providers(self):
+        return {p.name: p for p in default_leasing_providers()}
+
+    def test_counts(self, providers):
+        assert len(providers) == 21
+        initial = [p for p in providers.values()
+                   if p.listed_since == FIRST_SCRAPE]
+        added = [p for p in providers.values()
+                 if p.listed_since == SECOND_WAVE]
+        assert len(initial) == 12 and len(added) == 9
+
+    def test_paper_price_range(self, providers):
+        prices = [
+            p.advertised_price(D(2020, 6, 1))
+            for p in providers.values()
+        ]
+        assert min(prices) == pytest.approx(0.30)
+        assert max(prices) == pytest.approx(2.33)
+
+    def test_heficed_reduction(self, providers):
+        heficed = providers["Heficed"]
+        assert heficed.advertised_price(D(2019, 11, 1)) == 0.65
+        assert heficed.advertised_price(D(2020, 6, 1)) == 0.40
+
+    def test_ipv4mall_increase(self, providers):
+        mall = providers["IPv4Mall"]
+        assert mall.advertised_price(D(2019, 11, 1)) == 0.35
+        assert mall.advertised_price(D(2020, 6, 1)) == 0.56
+
+    def test_ip_as_january_spike(self, providers):
+        ip_as = providers["IP-AS"]
+        assert ip_as.advertised_price(D(2019, 11, 1)) == 1.17
+        assert ip_as.advertised_price(D(2020, 1, 15)) == 3.90
+        assert ip_as.advertised_price(D(2020, 6, 1)) == 2.33
+
+    def test_spike_is_factor_ten_above_floor(self, providers):
+        prices_jan = [
+            p.advertised_price(D(2020, 1, 15))
+            for p in providers.values()
+            if p.visible_on(D(2020, 1, 15))
+        ]
+        assert max(prices_jan) / min(prices_jan) > 10
+
+    def test_both_market_models_present(self, providers):
+        bundled = [p for p in providers.values() if p.bundles_hosting]
+        pure = [p for p in providers.values() if not p.bundles_hosting]
+        assert bundled and pure
+
+
+class TestScrapeLog:
+    def test_scrape_respects_visibility(self):
+        log = ScrapeLog(default_leasing_providers())
+        before = log.scrape(D(2019, 11, 1))
+        after = log.scrape(D(2020, 6, 1))
+        assert len(before) == 12
+        assert len(after) == 21
+
+    def test_series(self):
+        log = ScrapeLog(default_leasing_providers())
+        records = log.scrape_series(D(2019, 10, 26), D(2019, 11, 9), 7)
+        assert len(records) == 36  # 3 scrapes x 12 providers
+        with pytest.raises(MarketError):
+            log.scrape_series(D(2020, 1, 1), D(2020, 2, 1), 0)
+
+    def test_needs_providers(self):
+        with pytest.raises(MarketError):
+            ScrapeLog([])
+
+
+class TestLeaseAgreement:
+    def test_active_window(self):
+        lease = LeaseAgreement(
+            provider="X",
+            customer_org="org-1",
+            prefix=IPv4Prefix.parse("193.0.0.0/24"),
+            start=D(2020, 1, 1),
+            end=D(2020, 4, 1),
+        )
+        assert not lease.active_on(D(2019, 12, 31))
+        assert lease.active_on(D(2020, 1, 1))
+        assert lease.active_on(D(2020, 3, 31))
+        assert not lease.active_on(D(2020, 4, 1))
+
+    def test_open_ended(self):
+        lease = LeaseAgreement(
+            provider="X",
+            customer_org="org-1",
+            prefix=IPv4Prefix.parse("193.0.0.0/24"),
+            start=D(2020, 1, 1),
+        )
+        assert lease.active_on(D(2030, 1, 1))
+
+
+class TestAmortization:
+    def test_basic_formula(self):
+        assert amortization_months(22.5, 2.25) == pytest.approx(10.0)
+        assert amortization_years(22.5, 2.25) == pytest.approx(10 / 12)
+
+    def test_maintenance_extends(self):
+        without = amortization_months(22.5, 0.56)
+        with_fee = amortization_months(22.5, 0.56, 0.50)
+        assert with_fee > without * 5
+
+    def test_never_amortizes(self):
+        assert amortization_months(22.5, 0.30, 0.30) == math.inf
+        assert amortization_months(22.5, 0.30, 0.50) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            amortization_months(0, 1.0)
+        with pytest.raises(MarketError):
+            amortization_months(22.5, 0)
+        with pytest.raises(MarketError):
+            amortization_months(22.5, 1.0, -0.1)
+
+    def test_paper_headline_range(self):
+        """§6: amortization spans <1 year to multiple tens of years."""
+        lease_prices = [0.30, 0.56, 0.90, 2.33]
+        grid = amortization_grid(22.5, lease_prices)
+        summary = summarize_grid(grid)
+        assert summary["min_months"] < 12          # less than a year
+        assert summary["max_months"] > 240         # multiple tens of years
+        # Broker-reported customer average: two to three years.
+        assert 12 < summary["median_months"] < 60
+
+    def test_scenario_maintenance_depends_on_size(self):
+        small = AmortizationScenario(RIR.RIPE, 24, 22.5, 0.56)
+        large = AmortizationScenario(RIR.RIPE, 16, 22.5, 0.56)
+        assert small.maintenance_per_ip_month() > \
+            large.maintenance_per_ip_month()
+        assert small.months() > large.months()
+
+    def test_summarize_requires_finite(self):
+        scenarios = [AmortizationScenario(RIR.RIPE, 24, 22.5, 0.30)]
+        if math.isinf(scenarios[0].months()):
+            with pytest.raises(MarketError):
+                summarize_grid(scenarios)

@@ -1,0 +1,51 @@
+"""Unit tests for :mod:`repro.netbase.bogons`."""
+
+from repro.netbase.bogons import BOGON_PREFIXES, bogon_set, is_bogon
+from repro.netbase.prefix import IPv4Prefix
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestIsBogon:
+    def test_exact_bogon(self):
+        assert is_bogon(p("10.0.0.0/8"))
+        assert is_bogon(p("192.168.0.0/16"))
+
+    def test_more_specific_inside_bogon(self):
+        assert is_bogon(p("10.1.2.0/24"))
+        assert is_bogon(p("100.64.1.0/24"))
+        assert is_bogon(p("203.0.113.128/25"))
+
+    def test_covering_a_bogon_is_bogon(self):
+        assert is_bogon(p("8.0.0.0/6"))  # covers 10.0.0.0/8
+        assert is_bogon(p("0.0.0.0/0"))
+
+    def test_public_space_is_clean(self):
+        for text in ["8.8.8.0/24", "193.0.0.0/16", "1.0.0.0/24",
+                     "199.0.0.0/8"]:
+            assert not is_bogon(p(text))
+
+    def test_adjacent_to_bogon_is_clean(self):
+        assert not is_bogon(p("11.0.0.0/8"))
+        assert not is_bogon(p("172.32.0.0/12"))
+
+
+class TestBogonSet:
+    def test_copy_semantics(self):
+        ps = bogon_set()
+        ps.add(p("1.2.3.0/24"))
+        assert not is_bogon(p("1.2.3.0/24"))  # module list untouched
+        ps2 = bogon_set()
+        assert not ps2.covers(p("1.2.3.0/24"))
+
+    def test_contains_all_reference_prefixes(self):
+        ps = bogon_set()
+        for prefix in BOGON_PREFIXES:
+            assert ps.has_exact(prefix)
+
+    def test_reference_list_covers_rfc1918(self):
+        ps = bogon_set()
+        for text in ["10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"]:
+            assert ps.covers(p(text))

@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.netbase.prefixset`."""
+
+import pytest
+
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.netbase.prefixset import (
+    PrefixSet,
+    address_count,
+    aggregate,
+    coverage_fraction,
+)
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestAggregate:
+    def test_empty(self):
+        assert aggregate([]) == []
+
+    def test_merges_siblings(self):
+        assert aggregate([p("10.0.0.0/25"), p("10.0.0.128/25")]) == [
+            p("10.0.0.0/24")
+        ]
+
+    def test_merges_recursively(self):
+        quarters = list(p("10.0.0.0/24").subnets(26))
+        assert aggregate(quarters) == [p("10.0.0.0/24")]
+
+    def test_removes_covered(self):
+        assert aggregate([p("10.0.0.0/8"), p("10.1.0.0/16")]) == [
+            p("10.0.0.0/8")
+        ]
+
+    def test_non_adjacent_not_merged(self):
+        blocks = [p("10.0.0.0/24"), p("10.0.2.0/24")]
+        assert aggregate(blocks) == blocks
+
+    def test_non_sibling_adjacent_not_merged(self):
+        # 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not siblings.
+        blocks = [p("10.0.1.0/24"), p("10.0.2.0/24")]
+        assert aggregate(blocks) == blocks
+
+    def test_duplicates_collapse(self):
+        assert aggregate([p("10.0.0.0/24")] * 3) == [p("10.0.0.0/24")]
+
+    def test_merge_then_cover(self):
+        # Sibling /25s merge into a /24 already covered by the /23.
+        blocks = [p("10.0.0.0/23"), p("10.0.0.0/25"), p("10.0.0.128/25")]
+        assert aggregate(blocks) == [p("10.0.0.0/23")]
+
+
+class TestAddressCount:
+    def test_simple(self):
+        assert address_count([p("10.0.0.0/24")]) == 256
+
+    def test_overlap_not_double_counted(self):
+        assert address_count([p("10.0.0.0/8"), p("10.1.0.0/16")]) == 2 ** 24
+
+    def test_disjoint_sum(self):
+        assert address_count([p("10.0.0.0/24"), p("10.0.2.0/23")]) == 256 + 512
+
+
+class TestCoverageFraction:
+    def test_full_coverage(self):
+        assert coverage_fraction([p("10.0.0.0/24")], [p("10.0.0.0/8")]) == 1.0
+
+    def test_no_coverage(self):
+        assert coverage_fraction([p("10.0.0.0/24")], [p("11.0.0.0/8")]) == 0.0
+
+    def test_partial(self):
+        frac = coverage_fraction(
+            [p("10.0.0.0/23")], [p("10.0.0.0/24")]
+        )
+        assert frac == pytest.approx(0.5)
+
+    def test_empty_base(self):
+        assert coverage_fraction([], [p("10.0.0.0/8")]) == 0.0
+
+    def test_asymmetry(self):
+        bgp = [p("10.0.0.0/24")]
+        rdap = [p("10.0.0.0/16")]
+        assert coverage_fraction(bgp, rdap) == 1.0
+        assert coverage_fraction(rdap, bgp) == pytest.approx(256 / 65536)
+
+
+class TestPrefixSet:
+    @pytest.fixture
+    def ps(self):
+        return PrefixSet([p("10.0.0.0/8"), p("192.0.2.0/24")])
+
+    def test_covers_prefix_and_address(self, ps):
+        assert ps.covers(p("10.1.0.0/16"))
+        assert ps.covers(parse_address("10.255.255.255"))
+        assert not ps.covers(p("11.0.0.0/8"))
+        assert p("192.0.2.0/25") in ps
+        assert parse_address("8.8.8.8") not in ps
+
+    def test_has_exact(self, ps):
+        assert ps.has_exact(p("10.0.0.0/8"))
+        assert not ps.has_exact(p("10.0.0.0/16"))
+
+    def test_discard(self, ps):
+        assert ps.discard(p("192.0.2.0/24"))
+        assert not ps.discard(p("192.0.2.0/24"))
+        assert not ps.covers(p("192.0.2.0/24"))
+
+    def test_update_and_len(self, ps):
+        ps.update([p("172.16.0.0/12"), p("198.18.0.0/15")])
+        assert len(ps) == 4
+
+    def test_covering_and_covered_by(self, ps):
+        ps.add(p("10.1.0.0/16"))
+        assert list(ps.covering(p("10.1.2.0/24"))) == [
+            p("10.0.0.0/8"), p("10.1.0.0/16")
+        ]
+        assert list(ps.covered_by(p("10.0.0.0/8"))) == [
+            p("10.0.0.0/8"), p("10.1.0.0/16")
+        ]
+
+    def test_overlap_addresses(self):
+        ps = PrefixSet([p("10.0.0.0/25"), p("10.0.1.0/24")])
+        assert ps.overlap_addresses(p("10.0.0.0/23")) == 128 + 256
+        assert ps.overlap_addresses(p("10.0.0.0/26")) == 64  # covered case
+        assert ps.overlap_addresses(p("11.0.0.0/8")) == 0
+
+    def test_aggregated_and_count(self):
+        ps = PrefixSet([p("10.0.0.0/25"), p("10.0.0.128/25")])
+        assert ps.aggregated() == [p("10.0.0.0/24")]
+        assert ps.address_count() == 256
+
+    def test_bool_and_iter(self):
+        ps = PrefixSet()
+        assert not ps
+        ps.add(p("10.0.0.0/8"))
+        assert ps
+        assert list(ps) == [p("10.0.0.0/8")]

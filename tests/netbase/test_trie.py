@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.netbase.trie`."""
+
+import pytest
+
+from repro.netbase.prefix import IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie()
+    t[p("10.0.0.0/8")] = "a"
+    t[p("10.1.0.0/16")] = "b"
+    t[p("10.1.2.0/24")] = "c"
+    t[p("192.0.2.0/24")] = "d"
+    return t
+
+
+class TestBasics:
+    def test_len_and_bool(self, trie):
+        assert len(trie) == 4
+        assert trie
+        assert not PrefixTrie()
+
+    def test_get_exact(self, trie):
+        assert trie.get(p("10.1.0.0/16")) == "b"
+        assert trie.get(p("10.2.0.0/16")) is None
+        assert trie.get(p("10.2.0.0/16"), "x") == "x"
+
+    def test_getitem_raises(self, trie):
+        assert trie[p("10.0.0.0/8")] == "a"
+        with pytest.raises(KeyError):
+            trie[p("10.0.0.0/9")]
+
+    def test_contains_is_exact(self, trie):
+        assert p("10.1.0.0/16") in trie
+        assert p("10.1.0.0/17") not in trie  # covered but not stored
+
+    def test_replace_keeps_size(self, trie):
+        trie[p("10.0.0.0/8")] = "a2"
+        assert len(trie) == 4
+        assert trie[p("10.0.0.0/8")] == "a2"
+
+    def test_root_entry(self):
+        t = PrefixTrie()
+        t[p("0.0.0.0/0")] = "default"
+        assert t[p("0.0.0.0/0")] == "default"
+        assert t.longest_match(p("8.8.8.8/32")) == (p("0.0.0.0/0"), "default")
+
+
+class TestDelete:
+    def test_delete_existing(self, trie):
+        assert trie.delete(p("10.1.0.0/16"))
+        assert len(trie) == 3
+        assert p("10.1.0.0/16") not in trie
+        # children survive
+        assert trie[p("10.1.2.0/24")] == "c"
+
+    def test_delete_missing(self, trie):
+        assert not trie.delete(p("10.9.0.0/16"))
+        assert len(trie) == 4
+
+    def test_delete_prunes_branch(self):
+        t = PrefixTrie()
+        t[p("10.1.2.0/24")] = 1
+        assert t.delete(p("10.1.2.0/24"))
+        assert t._root.zero is None and t._root.one is None
+
+    def test_clear(self, trie):
+        trie.clear()
+        assert len(trie) == 0
+        assert list(trie.items()) == []
+
+
+class TestCoverQueries:
+    def test_covering_order(self, trie):
+        found = list(trie.covering(p("10.1.2.0/25")))
+        assert found == [
+            (p("10.0.0.0/8"), "a"),
+            (p("10.1.0.0/16"), "b"),
+            (p("10.1.2.0/24"), "c"),
+        ]
+
+    def test_covering_includes_exact(self, trie):
+        found = list(trie.covering(p("10.1.0.0/16")))
+        assert (p("10.1.0.0/16"), "b") in found
+
+    def test_longest_match(self, trie):
+        assert trie.longest_match(p("10.1.2.3/32")) == (p("10.1.2.0/24"), "c")
+        assert trie.longest_match(p("10.9.9.9/32")) == (p("10.0.0.0/8"), "a")
+        assert trie.longest_match(p("11.0.0.0/8")) is None
+
+    def test_covered(self, trie):
+        inside = list(trie.covered(p("10.0.0.0/8")))
+        assert inside == [
+            (p("10.0.0.0/8"), "a"),
+            (p("10.1.0.0/16"), "b"),
+            (p("10.1.2.0/24"), "c"),
+        ]
+
+    def test_covered_no_match(self, trie):
+        assert list(trie.covered(p("11.0.0.0/8"))) == []
+
+    def test_covered_of_leaf(self, trie):
+        assert list(trie.covered(p("192.0.2.0/24"))) == [(p("192.0.2.0/24"), "d")]
+
+
+class TestIteration:
+    def test_items_sorted(self, trie):
+        keys = [k for k, _v in trie.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 4
+
+    def test_keys_values(self, trie):
+        assert set(trie.values()) == {"a", "b", "c", "d"}
+        assert set(trie.keys()) == set(iter(trie))
+
+    def test_many_entries(self):
+        t = PrefixTrie()
+        base = p("172.16.0.0/12")
+        subnets = list(base.subnets(24))[:300]
+        for i, s in enumerate(subnets):
+            t[s] = i
+        assert len(t) == 300
+        assert [k for k, _ in t.covered(base)] == sorted(subnets)
+        for i, s in enumerate(subnets):
+            assert t[s] == i

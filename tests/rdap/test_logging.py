@@ -1,0 +1,27 @@
+"""Logging behaviour of the RDAP client."""
+
+import logging
+
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.rdap.client import RdapClient
+from repro.rdap.server import RdapServer
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+
+def test_throttle_is_logged(caplog):
+    db = WhoisDatabase()
+    db.add_inetnum(InetnumObject(
+        first=parse_address("193.0.0.0"),
+        last=parse_address("193.0.0.255"),
+        netname="NET",
+        status=InetnumStatus.ASSIGNED_PA,
+        org_handle="ORG-A",
+        admin_handle="AC-1",
+    ))
+    server = RdapServer(db, rate_limit_per_second=2.0, burst=1)
+    client = RdapClient(server, pace_seconds=0.0, backoff_seconds=1.0)
+    with caplog.at_level(logging.WARNING, logger="repro.rdap.client"):
+        client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"))
+        client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"))
+    assert any("throttled" in record.message for record in caplog.records)

@@ -1,0 +1,153 @@
+"""Unit tests for the RDAP server and client."""
+
+import pytest
+
+from repro.errors import RdapError, RdapNotFoundError, RdapRateLimitError
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.rdap.client import RdapClient, VirtualClock
+from repro.rdap.server import RateLimiter, RdapServer
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+
+def make(first, last, status=InetnumStatus.ASSIGNED_PA, org="ORG-A",
+         admin="AC-1", netname="NET"):
+    return InetnumObject(
+        first=parse_address(first),
+        last=parse_address(last),
+        netname=netname,
+        status=status,
+        org_handle=org,
+        admin_handle=admin,
+    )
+
+
+@pytest.fixture
+def server():
+    db = WhoisDatabase()
+    db.add_inetnum(make("193.0.0.0", "193.0.255.255",
+                        status=InetnumStatus.ALLOCATED_PA, org="ORG-LIR"))
+    db.add_inetnum(make("193.0.4.0", "193.0.4.255", org="ORG-CUST"))
+    return RdapServer(db, rate_limit_per_second=1000.0, burst=1000)
+
+
+class TestRateLimiter:
+    def test_burst_then_throttle(self):
+        limiter = RateLimiter(rate=1.0, capacity=2)
+        assert limiter.try_acquire(0.0)
+        assert limiter.try_acquire(0.0)
+        assert not limiter.try_acquire(0.0)
+        assert limiter.seconds_until_token() == pytest.approx(1.0)
+
+    def test_refill(self):
+        limiter = RateLimiter(rate=2.0, capacity=2)
+        limiter.try_acquire(0.0)
+        limiter.try_acquire(0.0)
+        assert not limiter.try_acquire(0.1)
+        assert limiter.try_acquire(1.0)
+
+    def test_capacity_cap(self):
+        limiter = RateLimiter(rate=100.0, capacity=1)
+        limiter.try_acquire(0.0)
+        assert limiter.try_acquire(10.0)
+        assert not limiter.try_acquire(10.0)
+
+    def test_backwards_clock_rejected(self):
+        limiter = RateLimiter(rate=1.0, capacity=1)
+        limiter.try_acquire(5.0)
+        with pytest.raises(ValueError):
+            limiter.try_acquire(4.0)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0, capacity=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1, capacity=0)
+
+
+class TestServer:
+    def test_exact_lookup(self, server):
+        response = server.lookup_ip(IPv4Prefix.parse("193.0.4.0/24"))
+        assert response["objectClassName"] == "ip network"
+        assert response["handle"] == "193.0.4.0 - 193.0.4.255"
+        assert response["type"] == "ASSIGNED PA"
+        assert response["parentHandle"] == "193.0.0.0 - 193.0.255.255"
+
+    def test_top_level_has_null_parent(self, server):
+        response = server.lookup_ip(IPv4Prefix.parse("193.0.0.0/16"))
+        assert response["parentHandle"] is None
+
+    def test_most_specific_fallback(self, server):
+        # /25 inside the ASSIGNED PA /24: server returns the /24.
+        response = server.lookup_ip(IPv4Prefix.parse("193.0.4.0/25"))
+        assert response["handle"] == "193.0.4.0 - 193.0.4.255"
+
+    def test_not_found(self, server):
+        with pytest.raises(RdapNotFoundError):
+            server.lookup_ip(IPv4Prefix.parse("8.8.8.0/24"))
+
+    def test_entities(self, server):
+        response = server.lookup_ip(IPv4Prefix.parse("193.0.4.0/24"))
+        roles = {e["roles"][0]: e["handle"] for e in response["entities"]}
+        assert roles["registrant"] == "ORG-CUST"
+        assert roles["administrative"] == "AC-1"
+
+    def test_rate_limit(self):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        server = RdapServer(db, rate_limit_per_second=1.0, burst=1)
+        server.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"), now=0.0)
+        with pytest.raises(RdapRateLimitError):
+            server.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"), now=0.0)
+        assert server.throttled_count == 1
+        # Another client has its own bucket.
+        server.lookup_ip(
+            IPv4Prefix.parse("193.0.0.0/24"), client_id="other", now=0.0
+        )
+
+
+class TestClient:
+    def test_lookup_and_parent(self, server):
+        client = RdapClient(server)
+        handle = client.parent_handle(IPv4Prefix.parse("193.0.4.0/24"))
+        assert handle == "193.0.0.0 - 193.0.255.255"
+        assert client.queries_sent == 1
+
+    def test_not_found_returns_none(self, server):
+        client = RdapClient(server)
+        assert client.lookup_ip(IPv4Prefix.parse("8.8.8.0/24")) is None
+        assert client.not_found_count == 1
+
+    def test_retry_after_throttle(self):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        server = RdapServer(db, rate_limit_per_second=2.0, burst=1)
+        client = RdapClient(server, pace_seconds=0.0, backoff_seconds=1.0)
+        # First query drains the bucket; second throttles then retries.
+        assert client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24")) is not None
+        assert client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24")) is not None
+        assert client.throttle_events >= 1
+
+    def test_gives_up_eventually(self):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        # Refill so slow that retries cannot succeed.
+        server = RdapServer(db, rate_limit_per_second=0.0001, burst=1)
+        client = RdapClient(
+            server, pace_seconds=0.0, max_retries=2, backoff_seconds=0.1
+        )
+        client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"))
+        with pytest.raises(RdapError):
+            client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"))
+
+    def test_pacing_advances_clock(self, server):
+        clock = VirtualClock()
+        client = RdapClient(server, pace_seconds=0.5, clock=clock)
+        client.lookup_ip(IPv4Prefix.parse("193.0.4.0/24"))
+        client.lookup_ip(IPv4Prefix.parse("193.0.4.0/24"))
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_virtual_clock_validation(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1)

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.registry.membership`."""
+
+import datetime
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.membership import (
+    DEFAULT_FEE_SCHEDULES,
+    FeeSchedule,
+    MembershipRoster,
+)
+from repro.registry.rir import RIR
+
+
+def d(text):
+    return datetime.date.fromisoformat(text)
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestFeeSchedule:
+    def test_step_selection(self):
+        fees = FeeSchedule(
+            RIR.ARIN, base_fee=0.0,
+            size_steps=((2 ** 12, 1000.0), (2 ** 16, 2000.0), (2 ** 32, 8000.0)),
+        )
+        assert fees.annual_fee(256) == 1000.0
+        assert fees.annual_fee(2 ** 12) == 1000.0
+        assert fees.annual_fee(2 ** 12 + 1) == 2000.0
+        assert fees.annual_fee(2 ** 20) == 8000.0
+
+    def test_base_fee_added(self):
+        fees = DEFAULT_FEE_SCHEDULES[RIR.RIPE]
+        assert fees.annual_fee(256) == fees.base_fee
+        assert fees.annual_fee(2 ** 20) == fees.base_fee  # flat at RIPE
+
+    def test_monthly_fee_per_address(self):
+        fees = DEFAULT_FEE_SCHEDULES[RIR.RIPE]
+        per_ip = fees.monthly_fee_per_address(256)
+        assert per_ip == pytest.approx(1550.0 / 256 / 12)
+        # Larger holders pay much less per address.
+        assert fees.monthly_fee_per_address(2 ** 16) < per_ip / 100
+
+    def test_zero_holdings(self):
+        fees = DEFAULT_FEE_SCHEDULES[RIR.ARIN]
+        assert fees.monthly_fee_per_address(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_FEE_SCHEDULES[RIR.ARIN].annual_fee(-1)
+
+    def test_all_rirs_have_schedules(self):
+        assert set(DEFAULT_FEE_SCHEDULES) == set(RIR)
+
+
+class TestRoster:
+    def test_open_and_require(self):
+        roster = MembershipRoster(RIR.RIPE)
+        account = roster.open_account("org-1", d("2020-01-01"))
+        assert account.active
+        assert roster.require("org-1") is account
+        assert "org-1" in roster
+        assert len(roster) == 1
+
+    def test_double_join_rejected(self):
+        roster = MembershipRoster(RIR.RIPE)
+        roster.open_account("org-1", d("2020-01-01"))
+        with pytest.raises(MembershipError):
+            roster.open_account("org-1", d("2020-02-01"))
+
+    def test_rejoin_after_close(self):
+        roster = MembershipRoster(RIR.RIPE)
+        roster.open_account("org-1", d("2020-01-01"))
+        roster.close_account("org-1", d("2020-02-01"))
+        assert "org-1" not in roster
+        account = roster.open_account("org-1", d("2020-03-01"))
+        assert account.active
+
+    def test_require_unknown(self):
+        roster = MembershipRoster(RIR.RIPE)
+        with pytest.raises(MembershipError):
+            roster.require("nobody")
+        assert roster.get("nobody") is None
+
+    def test_holdings_accounting(self):
+        roster = MembershipRoster(RIR.RIPE)
+        account = roster.open_account("org-1", d("2020-01-01"))
+        account.add_holding(p("193.0.0.0/24"))
+        account.add_holding(p("193.0.2.0/23"))
+        assert account.held_addresses() == 256 + 512
+        account.remove_holding(p("193.0.0.0/24"))
+        assert account.held_addresses() == 512
+        with pytest.raises(MembershipError):
+            account.remove_holding(p("193.0.0.0/24"))
+
+    def test_annual_fee_uses_holdings(self):
+        roster = MembershipRoster(RIR.ARIN)
+        account = roster.open_account("org-1", d("2020-01-01"))
+        small = roster.annual_fee("org-1")
+        account.add_holding(p("8.0.0.0/8"))
+        assert roster.annual_fee("org-1") > small

@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.registry.pool`."""
+
+import pytest
+
+from repro.errors import PoolExhaustedError
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.pool import FreePool
+
+
+def p(text):
+    return IPv4Prefix.parse(text)
+
+
+class TestAllocate:
+    def test_exact_fit(self):
+        pool = FreePool([p("10.0.0.0/24")])
+        assert pool.allocate(24) == p("10.0.0.0/24")
+        assert not pool
+
+    def test_split_larger_block(self):
+        pool = FreePool([p("10.0.0.0/22")])
+        block = pool.allocate(24)
+        assert block == p("10.0.0.0/24")
+        assert pool.available_addresses() == 1024 - 256
+
+    def test_deterministic_lowest_address_first(self):
+        pool = FreePool([p("11.0.0.0/24"), p("10.0.0.0/24")])
+        assert pool.allocate(24) == p("10.0.0.0/24")
+        assert pool.allocate(24) == p("11.0.0.0/24")
+
+    def test_best_fit_preferred(self):
+        pool = FreePool([p("10.0.0.0/8"), p("172.16.0.0/24")])
+        # /24 request should consume the /24, not split the /8.
+        assert pool.allocate(24) == p("172.16.0.0/24")
+
+    def test_exhausted(self):
+        pool = FreePool([p("10.0.0.0/24")])
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(23)
+
+    def test_empty_pool(self):
+        with pytest.raises(PoolExhaustedError):
+            FreePool().allocate(24)
+
+    def test_can_allocate(self):
+        pool = FreePool([p("10.0.0.0/22")])
+        assert pool.can_allocate(24)
+        assert pool.can_allocate(22)
+        assert not pool.can_allocate(21)
+
+    def test_drain_completely(self):
+        pool = FreePool([p("10.0.0.0/22")])
+        blocks = [pool.allocate(24) for _ in range(4)]
+        assert sorted(blocks) == list(p("10.0.0.0/22").subnets(24))
+        assert pool.available_addresses() == 0
+
+
+class TestAddAndMerge:
+    def test_buddy_merge_on_return(self):
+        pool = FreePool([p("10.0.0.0/23")])
+        a = pool.allocate(24)
+        b = pool.allocate(24)
+        pool.add(a)
+        pool.add(b)
+        assert list(pool.blocks()) == [p("10.0.0.0/23")]
+
+    def test_merge_cascades(self):
+        pool = FreePool()
+        for sub in p("10.0.0.0/22").subnets(24):
+            pool.add(sub)
+        assert list(pool.blocks()) == [p("10.0.0.0/22")]
+
+    def test_non_buddies_stay_separate(self):
+        pool = FreePool()
+        pool.add(p("10.0.1.0/24"))
+        pool.add(p("10.0.2.0/24"))
+        assert len(pool) == 2
+
+    def test_duplicate_add_rejected(self):
+        pool = FreePool([p("10.0.0.0/24")])
+        with pytest.raises(ValueError):
+            pool.add(p("10.0.0.0/24"))
+
+    def test_contains(self):
+        pool = FreePool([p("10.0.0.0/16")])
+        assert p("10.0.1.0/24") in pool
+        assert p("10.1.0.0/24") not in pool
+
+
+class TestAllocateSpecific:
+    def test_exact(self):
+        pool = FreePool([p("10.0.0.0/24")])
+        assert pool.allocate_specific(p("10.0.0.0/24")) == p("10.0.0.0/24")
+
+    def test_carves_from_larger(self):
+        pool = FreePool([p("10.0.0.0/16")])
+        got = pool.allocate_specific(p("10.0.128.0/24"))
+        assert got == p("10.0.128.0/24")
+        assert pool.available_addresses() == 2 ** 16 - 256
+        assert p("10.0.128.0/24") not in pool
+        assert p("10.0.129.0/24") in pool
+
+    def test_remainder_is_aggregated(self):
+        pool = FreePool([p("10.0.0.0/16")])
+        pool.allocate_specific(p("10.0.0.0/24"))
+        pool.add(p("10.0.0.0/24"))
+        assert list(pool.blocks()) == [p("10.0.0.0/16")]
+
+    def test_not_free(self):
+        pool = FreePool([p("10.0.0.0/24")])
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_specific(p("10.1.0.0/24"))
+        pool.allocate_specific(p("10.0.0.0/25"))
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_specific(p("10.0.0.0/25"))
+
+
+class TestAccounting:
+    def test_available_addresses(self):
+        pool = FreePool([p("10.0.0.0/24"), p("10.0.2.0/23")])
+        assert pool.available_addresses() == 256 + 512
+
+    def test_aggregated(self):
+        pool = FreePool()
+        pool.add(p("10.0.0.0/25"))
+        pool.add(p("10.0.1.0/24"))
+        # /25 and /24 are not buddies; aggregated() reports minimal form.
+        assert pool.aggregated() == [p("10.0.0.0/25"), p("10.0.1.0/24")]
+
+    def test_len_and_bool(self):
+        pool = FreePool()
+        assert len(pool) == 0 and not pool
+        pool.add(p("10.0.0.0/24"))
+        assert len(pool) == 1 and pool

@@ -1,0 +1,78 @@
+"""Property-based tests for the free pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PoolExhaustedError
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.pool import FreePool
+
+INITIAL = IPv4Prefix.parse("10.0.0.0/12")
+
+#: Sequences of allocation requests (prefix lengths 13..26).
+request_lists = st.lists(st.integers(min_value=13, max_value=26),
+                         max_size=60)
+
+
+class TestPoolInvariants:
+    @settings(max_examples=60)
+    @given(request_lists)
+    def test_accounting_is_exact(self, lengths):
+        pool = FreePool([INITIAL])
+        outstanding = []
+        for length in lengths:
+            try:
+                outstanding.append(pool.allocate(length))
+            except PoolExhaustedError:
+                pass
+        allocated = sum(b.num_addresses for b in outstanding)
+        assert pool.available_addresses() == (
+            INITIAL.num_addresses - allocated
+        )
+
+    @settings(max_examples=60)
+    @given(request_lists)
+    def test_allocations_are_disjoint_and_in_bounds(self, lengths):
+        pool = FreePool([INITIAL])
+        outstanding = []
+        for length in lengths:
+            try:
+                outstanding.append(pool.allocate(length))
+            except PoolExhaustedError:
+                pass
+        ordered = sorted(outstanding)
+        for block in ordered:
+            assert INITIAL.covers(block)
+        for left, right in zip(ordered, ordered[1:]):
+            assert not left.overlaps(right)
+
+    @settings(max_examples=60)
+    @given(request_lists)
+    def test_full_return_restores_pool(self, lengths):
+        pool = FreePool([INITIAL])
+        outstanding = []
+        for length in lengths:
+            try:
+                outstanding.append(pool.allocate(length))
+            except PoolExhaustedError:
+                pass
+        for block in outstanding:
+            pool.add(block)
+        assert list(pool.blocks()) == [INITIAL]
+
+    @settings(max_examples=40)
+    @given(request_lists, st.randoms(use_true_random=False))
+    def test_interleaved_alloc_free(self, lengths, rng):
+        pool = FreePool([INITIAL])
+        outstanding = []
+        for length in lengths:
+            if outstanding and rng.random() < 0.4:
+                pool.add(outstanding.pop(rng.randrange(len(outstanding))))
+            try:
+                outstanding.append(pool.allocate(length))
+            except PoolExhaustedError:
+                pass
+            allocated = sum(b.num_addresses for b in outstanding)
+            assert pool.available_addresses() == (
+                INITIAL.num_addresses - allocated
+            )

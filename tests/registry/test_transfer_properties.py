@@ -1,0 +1,98 @@
+"""Property-based tests for transfer-record serialization."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.rir import RIR, profile_for
+from repro.registry.transfers import (
+    TransferLedger,
+    TransferRecord,
+    TransferType,
+)
+
+dates = st.dates(
+    min_value=datetime.date(2010, 1, 1),
+    max_value=datetime.date(2020, 12, 31),
+)
+lengths = st.integers(min_value=16, max_value=24)
+rirs = st.sampled_from(list(RIR))
+types = st.sampled_from(list(TransferType))
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(lengths)
+    network = draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    return IPv4Prefix(network, length, strict=False)
+
+
+@st.composite
+def records(draw):
+    source_rir = draw(rirs)
+    inter = draw(st.booleans())
+    recipient_rir = draw(rirs) if inter else source_rir
+    block_count = draw(st.integers(min_value=1, max_value=4))
+    blocks = tuple(
+        sorted({draw(prefixes()) for _ in range(block_count)})
+    )
+    return TransferRecord(
+        transfer_id=f"T{draw(st.integers(min_value=1, max_value=10**6))}",
+        date=draw(dates),
+        prefixes=blocks,
+        source_org=draw(st.text(
+            alphabet="abcdefghij", min_size=1, max_size=12
+        )),
+        recipient_org=draw(st.text(
+            alphabet="klmnopqrst", min_size=1, max_size=12
+        )),
+        source_rir=source_rir,
+        recipient_rir=recipient_rir,
+        true_type=draw(types),
+    )
+
+
+class TestFeedRoundTrip:
+    @settings(max_examples=80)
+    @given(records())
+    def test_json_round_trip_preserves_observables(self, record):
+        parsed = TransferRecord.from_feed_json(record.to_feed_json())
+        assert parsed.date == record.date
+        assert parsed.source_org == record.source_org
+        assert parsed.recipient_org == record.recipient_org
+        assert parsed.source_rir is record.source_rir
+        assert parsed.recipient_rir is record.recipient_rir
+        # CIDR sets survive (ranges may re-split, addresses identical).
+        assert {p for p in parsed.prefixes} == {p for p in record.prefixes}
+
+    @settings(max_examples=80)
+    @given(records())
+    def test_label_visibility_matches_rir_policy(self, record):
+        parsed = TransferRecord.from_feed_json(record.to_feed_json())
+        if profile_for(record.source_rir).labels_mna_transfers:
+            assert parsed.true_type is record.true_type
+        else:
+            assert parsed.true_type is TransferType.MARKET
+
+    @settings(max_examples=40)
+    @given(st.lists(records(), max_size=15))
+    def test_ledger_feed_reconstruction(self, record_list):
+        ledger = TransferLedger()
+        ledger.extend(record_list)
+        feeds = [ledger.feed_for(rir) for rir in RIR]
+        rebuilt = TransferLedger.from_feeds(feeds)
+        # Deduplication: every distinct (date, prefixes, orgs, rirs)
+        # tuple appears exactly once.
+        expected_keys = {
+            (r.date, r.prefixes, r.source_org, r.recipient_org,
+             r.source_rir, r.recipient_rir)
+            for r in record_list
+        }
+        rebuilt_keys = {
+            (r.date, r.prefixes, r.source_org, r.recipient_org,
+             r.source_rir, r.recipient_rir)
+            for r in rebuilt.records()
+        }
+        assert rebuilt_keys == expected_keys

@@ -1,0 +1,98 @@
+"""Tests for the announcement source's noise events."""
+
+import datetime
+
+import pytest
+
+from repro.bgp.message import Announcement
+from repro.simulation import World, small_scenario
+from repro.simulation.announce import AnnouncementSource
+
+D = datetime.date
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(small_scenario())
+
+
+def noisy_source(world, **rates):
+    defaults = dict(hijack_rate=1.0, as_set_rate=1.0, moas_rate=1.0)
+    defaults.update(rates)
+    return AnnouncementSource(
+        world.config.seed,
+        world.lirs(),
+        world.customers(),
+        world.delegation_plan(),
+        world.monitors(),
+        **defaults,
+    )
+
+
+class TestNoiseEvents:
+    def test_hijack_is_restricted_more_specific(self, world):
+        source = noisy_source(world, as_set_rate=0.0, moas_rate=0.0)
+        announcements = source(D(2020, 1, 15))
+        restricted = [
+            a for a in announcements
+            if a.restricted_to_monitors is not None
+        ]
+        assert len(restricted) == 1
+        hijack = restricted[0]
+        assert hijack.prefix.length == 24
+        # Restricted to a strict minority of monitors.
+        assert len(hijack.restricted_to_monitors) <= (
+            len(world.monitors()) // 2
+        )
+        # Inside some LIR holding (a more-specific of a real block).
+        holdings = [h for org in world.lirs() for h in org.holdings]
+        assert any(h.covers(hijack.prefix) for h in holdings)
+
+    def test_as_set_artifact_duplicates_a_delegation(self, world):
+        source = noisy_source(world, hijack_rate=0.0, moas_rate=0.0)
+        announcements = source(D(2020, 1, 15))
+        as_sets = [a for a in announcements if a.as_set_origin]
+        assert len(as_sets) <= 1
+        if as_sets:
+            prefixes = {
+                s.prefix for s in world.delegation_plan().specs
+            }
+            assert as_sets[0].prefix in prefixes
+
+    def test_moas_conflict_uses_different_origin(self, world):
+        source = noisy_source(world, hijack_rate=0.0, as_set_rate=0.0)
+        announcements = source(D(2020, 1, 15))
+        by_prefix = {}
+        for a in announcements:
+            by_prefix.setdefault(a.prefix, set()).add(a.origin_asn)
+        conflicted = [
+            prefix for prefix, origins in by_prefix.items()
+            if len(origins) > 1
+        ]
+        assert len(conflicted) <= 1
+
+    def test_zero_rates_mean_no_noise(self, world):
+        source = noisy_source(
+            world, hijack_rate=0.0, as_set_rate=0.0, moas_rate=0.0
+        )
+        announcements = source(D(2020, 1, 15))
+        assert all(a.restricted_to_monitors is None for a in announcements)
+        assert all(not a.as_set_origin for a in announcements)
+
+    def test_base_announcements_stable_across_days(self, world):
+        source = noisy_source(
+            world, hijack_rate=0.0, as_set_rate=0.0, moas_rate=0.0
+        )
+        holdings = {
+            (a.prefix, a.origin_asn)
+            for a in source(D(2020, 1, 10))
+            if any(a.prefix == h for org in world.lirs()
+                   for h in org.holdings)
+        }
+        holdings_later = {
+            (a.prefix, a.origin_asn)
+            for a in source(D(2020, 2, 10))
+            if any(a.prefix == h for org in world.lirs()
+                   for h in org.holdings)
+        }
+        assert holdings == holdings_later

@@ -1,0 +1,92 @@
+"""Tests for the pool-drawdown (Table 1) simulator."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.registry.rir import RIR, profile_for
+from repro.simulation.exhaustion import (
+    SLASH8,
+    ExhaustionReport,
+    ExhaustionSimulator,
+    _calibrated_base_rate,
+    simulate_all,
+)
+
+D = datetime.date
+
+
+class TestCalibration:
+    def test_constant_growth_one(self):
+        # growth 1.0 -> uniform rate; handled via the geometric formula
+        # with daily_growth != 1, so use something very close.
+        rate = _calibrated_base_rate(1000.0, 100, 1.0001)
+        assert rate == pytest.approx(10.0, rel=0.01)
+
+    def test_cumulative_matches_pool(self):
+        pool, days, growth = 5_000_000.0, 2000, 1.25
+        base = _calibrated_base_rate(pool, days, growth)
+        daily = growth ** (1 / 365)
+        total = base * (daily ** days - 1) / (daily - 1)
+        assert total == pytest.approx(pool, rel=1e-9)
+
+    def test_invalid_window(self):
+        with pytest.raises(SimulationError):
+            _calibrated_base_rate(1000.0, 0, 1.2)
+
+
+class TestSimulation:
+    def test_all_rirs_match_table1(self):
+        reports = simulate_all()
+        for rir in RIR:
+            assert reports[rir].matches_profile(profile_for(rir))
+
+    def test_milestones_ordered(self):
+        report = ExhaustionSimulator(RIR.RIPE).run()
+        assert report.last_slash8_date is not None
+        assert report.depletion_date is not None
+        assert report.last_slash8_date < report.depletion_date
+
+    def test_depleted_rirs_have_empty_pools(self):
+        for rir in (RIR.ARIN, RIR.RIPE, RIR.LACNIC):
+            assert ExhaustionSimulator(rir).run().remaining_addresses == 0
+
+    def test_apnic_holds_part_of_slash10(self):
+        report = ExhaustionSimulator(RIR.APNIC).run()
+        assert (1 << 21) < report.remaining_addresses < (1 << 23)
+
+    def test_custom_pool_changes_timing(self):
+        # A much larger pool with the same calibrated target still hits
+        # the date (calibration is pool-aware).
+        report = ExhaustionSimulator(
+            RIR.ARIN, initial_pool_slash8s=50.0
+        ).run()
+        assert report.matches_profile(profile_for(RIR.ARIN))
+
+    def test_report_mismatch_detection(self):
+        profile = profile_for(RIR.ARIN)
+        off_by_a_year = ExhaustionReport(
+            rir=RIR.ARIN,
+            last_slash8_date=profile.last_slash8_date.replace(year=2016),
+            depletion_date=profile.depletion_date,
+            remaining_addresses=0,
+        )
+        assert not off_by_a_year.matches_profile(profile)
+        never_reached = ExhaustionReport(
+            rir=RIR.ARIN,
+            last_slash8_date=None,
+            depletion_date=None,
+            remaining_addresses=SLASH8,
+        )
+        assert not never_reached.matches_profile(profile)
+
+    def test_depletion_expected_but_missing(self):
+        profile = profile_for(RIR.ARIN)
+        report = ExhaustionReport(
+            rir=RIR.ARIN,
+            last_slash8_date=profile.last_slash8_date,
+            depletion_date=None,
+            remaining_addresses=100,
+        )
+        assert not report.matches_profile(profile)

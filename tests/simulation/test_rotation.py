@@ -1,0 +1,83 @@
+"""Tests for the §6 VPN-provider rotation chains."""
+
+import datetime
+
+import pytest
+
+from repro.simulation import World, small_scenario
+from repro.simulation.orgs import BusinessModel
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(small_scenario())
+
+
+def rotation_specs(world):
+    """Specs belonging to rotation chains: grouped by delegatee, the
+    bounded-lifetime cross-org /24 runs that tile the window."""
+    plan = world.delegation_plan()
+    chains = {}
+    for spec in plan.cross_org():
+        if spec.prefix.length != 24:
+            continue
+        if spec.onoff is not None:
+            continue
+        key = (spec.delegatee_asn, spec.delegator.org_id)
+        chains.setdefault(key, []).append(spec)
+    return {
+        key: sorted(specs, key=lambda s: s.active_from)
+        for key, specs in chains.items()
+        if len(specs) >= 3  # a chain rotates several times
+    }
+
+
+class TestRotationChains:
+    def test_chains_exist(self, world):
+        assert world.config.vpn_rotation_chains > 0
+        assert rotation_specs(world)
+
+    def test_chain_segments_tile_the_window(self, world):
+        config = world.config
+        for segments in rotation_specs(world).values():
+            # Contiguous: each segment starts when the previous ends.
+            for left, right in zip(segments, segments[1:]):
+                if left.active_until is None:
+                    continue
+                assert right.active_from == left.active_until
+            assert segments[0].active_from == config.bgp_start
+            assert segments[-1].active_until is None
+
+    def test_exactly_one_active_per_chain_per_day(self, world):
+        config = world.config
+        probe_days = [
+            config.bgp_start + datetime.timedelta(days=offset)
+            for offset in (0, 15, 30, 45)
+            if config.bgp_start + datetime.timedelta(days=offset)
+            < config.bgp_end
+        ]
+        for segments in rotation_specs(world).values():
+            for day in probe_days:
+                active = [s for s in segments if s.active_on(day)]
+                assert len(active) == 1
+
+    def test_prefixes_rotate(self, world):
+        for segments in rotation_specs(world).values():
+            prefixes = [s.prefix for s in segments]
+            assert len(set(prefixes)) == len(prefixes)
+
+    def test_delegators_prefer_lease_out_models(self, world):
+        """ISPs/hosters delegate ~3x as often per §6 weighting."""
+        plan = world.delegation_plan()
+        lease_out = sum(
+            1 for s in plan.cross_org() if s.delegator.model.leases_out
+        )
+        total = len(plan.cross_org())
+        lirs = world.lirs()
+        lease_out_lirs = sum(1 for org in lirs if org.model.leases_out)
+        population_share = lease_out_lirs / len(lirs)
+        observed_share = lease_out / total
+        # With 3x weighting, the observed share must exceed the
+        # population share (unless every LIR leases out).
+        if population_share < 0.95:
+            assert observed_share > population_share

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["market"])
+        assert args.seed == 42
+        assert args.scale == "small"
+
+    def test_advise_positionals(self):
+        args = build_parser().parse_args(["advise", "22", "5"])
+        assert args.prefix_length == 22
+        assert args.horizon_years == 5.0
+
+
+class TestCommands:
+    def test_market(self, capsys):
+        assert main(["market"]) == 0
+        out = capsys.readouterr().out
+        assert "Market report" in out
+        assert "mean 2020 price" in out
+        assert "leasing range" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "24", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "/24" in out
+        assert "break-even" in out
+        assert "buy" in out and "lease" in out
+
+    def test_infer_tail(self, capsys):
+        assert main(["infer", "--step-days", "7", "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "extended algorithm" in out
+        # Title + header + separator + 3 rows.
+        assert len(out.strip().splitlines()) == 6
+
+    def test_infer_baseline(self, capsys):
+        assert main([
+            "infer", "--baseline", "--step-days", "14", "--tail", "2"
+        ]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_generate(self, tmp_path, capsys):
+        assert main([
+            "generate", str(tmp_path / "data"), "--no-rpki",
+            "--collector-days", "1",
+        ]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["collector_days"]
+        assert (tmp_path / "data" / "manifest.json").exists()
+
+    def test_figures(self, tmp_path, capsys):
+        assert main(["figures", str(tmp_path / "figs")]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig2", "fig4", "fig5", "fig6"):
+            assert name in out
+            assert (tmp_path / "figs" / f"{name}.csv").exists()
+
+    def test_figures_skip_fig6(self, tmp_path, capsys):
+        assert main([
+            "figures", str(tmp_path / "figs"), "--skip-fig6",
+        ]) == 0
+        assert not (tmp_path / "figs" / "fig6.csv").exists()
+
+    def test_seed_changes_output(self, capsys):
+        main(["--seed", "1", "market"])
+        first = capsys.readouterr().out
+        main(["--seed", "2", "market"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "advise"],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "break-even" in completed.stdout

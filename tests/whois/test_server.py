@@ -1,0 +1,90 @@
+"""Tests for the WHOIS query server."""
+
+import pytest
+
+from repro.netbase.prefix import parse_address
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+from repro.whois.server import WhoisServer
+
+
+def inet(first, last, status, netname):
+    return InetnumObject(
+        first=parse_address(first),
+        last=parse_address(last),
+        netname=netname,
+        status=status,
+        org_handle="ORG-A",
+        admin_handle="AC-1",
+    )
+
+
+@pytest.fixture
+def server():
+    db = WhoisDatabase()
+    db.add_inetnum(inet("193.0.0.0", "193.0.255.255",
+                        InetnumStatus.ALLOCATED_PA, "TOP"))
+    db.add_inetnum(inet("193.0.4.0", "193.0.7.255",
+                        InetnumStatus.SUB_ALLOCATED_PA, "MIDDLE"))
+    db.add_inetnum(inet("193.0.4.0", "193.0.4.255",
+                        InetnumStatus.ASSIGNED_PA, "LEAF"))
+    return WhoisServer(db)
+
+
+class TestQueries:
+    def test_bare_address_returns_most_specific(self, server):
+        response = server.query("193.0.4.10")
+        assert "netname:        LEAF" in response
+        assert "MIDDLE" not in response
+
+    def test_bare_prefix(self, server):
+        response = server.query("193.0.4.0/22")
+        assert "netname:        MIDDLE" in response
+
+    def test_exact_flag(self, server):
+        assert "LEAF" in server.query("-x 193.0.4.0/24")
+        assert server.query("-x 193.0.4.0/25").startswith("%ERROR:101")
+
+    def test_less_specific_chain(self, server):
+        response = server.query("-L 193.0.4.10")
+        # Outermost first: TOP, MIDDLE, LEAF.
+        top = response.index("TOP")
+        middle = response.index("MIDDLE")
+        leaf = response.index("LEAF")
+        assert top < middle < leaf
+
+    def test_more_specific(self, server):
+        response = server.query("-m 193.0.4.0/22")
+        assert "LEAF" in response
+        assert "TOP" not in response
+
+    def test_no_match(self, server):
+        assert server.query("8.8.8.8").startswith("%ERROR:101")
+
+    def test_bad_syntax(self, server):
+        assert server.query("").startswith("%ERROR:108")
+        assert server.query("one two").startswith("%ERROR:108")
+        assert server.query("not.an.ip").startswith("%ERROR:108")
+
+    def test_query_count(self, server):
+        server.query("193.0.4.10")
+        server.query("8.8.8.8")
+        assert server.query_count == 2
+
+    def test_response_is_parseable_rpsl(self, server):
+        from repro.whois.snapshot import parse_snapshot
+
+        response = server.query("-L 193.0.4.10")
+        objects = list(parse_snapshot(response))
+        assert len(objects) == 3
+
+    def test_whois_and_rdap_agree(self, server):
+        """Both protocol frontends resolve the same object."""
+        from repro.netbase.prefix import IPv4Prefix
+        from repro.rdap.server import RdapServer
+
+        rdap = RdapServer(server.database, rate_limit_per_second=1e6,
+                          burst=10**6)
+        rdap_response = rdap.lookup_ip(IPv4Prefix.parse("193.0.4.0/24"))
+        whois_response = server.query("193.0.4.0/24")
+        assert rdap_response["name"] in whois_response
