@@ -4,13 +4,23 @@ Runs the pipeline with each extension toggled independently over a
 sub-window and quantifies what it removes: the same-organization
 filter cuts the delegation count; the consistency rule cuts the daily
 variance.  (DESIGN.md §6, design-choice 3.)
+
+The four configurations share one runner cache: the pairs differing
+only in the consistency rule (v) — which runs after the fan-in — hit
+the same per-day entries, so the sweep computes each (same-org, day)
+combination exactly once.
 """
 
 import datetime
 import statistics
 
 from repro.analysis.report import render_table
-from repro.delegation import ConsistencyRule, DelegationInference, InferenceConfig
+from repro.delegation import (
+    ConsistencyRule,
+    InferenceConfig,
+    WorldStreamFactory,
+    run_inference,
+)
 
 #: A shorter window keeps four full pipeline runs affordable, but long
 #: enough that unfillable edge-of-window gaps do not dominate the
@@ -18,21 +28,24 @@ from repro.delegation import ConsistencyRule, DelegationInference, InferenceConf
 WINDOW_DAYS = 200
 
 
-def _run(world, config):
+def _run(world, config, cache_dir):
     start = world.config.bgp_start
     end = start + datetime.timedelta(days=WINDOW_DAYS)
     as2org = world.as2org() if config.same_org_filter else None
-    inference = DelegationInference(config, as2org)
-    result = inference.infer_range(world.stream(), start, end)
+    result = run_inference(
+        WorldStreamFactory(world.config), start, end, config,
+        as2org=as2org, jobs=1, cache_dir=cache_dir,
+    )
     counts = [c for _d, c in result.counts_series()]
     deltas = [abs(b - a) for a, b in zip(counts, counts[1:])]
     # Roughness (mean day-over-day jump / level): isolates the on-off
     # jitter from slow growth, like the Fig. 6 benchmark.
     roughness = (sum(deltas) / len(deltas)) / statistics.mean(counts)
-    return statistics.mean(counts), roughness
+    return statistics.mean(counts), roughness, result.runner_stats
 
 
-def test_ablation_extensions(benchmark, world, record_result):
+def test_ablation_extensions(benchmark, world, record_result, tmp_path):
+    cache_dir = tmp_path / "cache"
     configs = {
         "baseline (i-iii)": InferenceConfig.baseline(),
         "+ same-org (iv)": InferenceConfig(consistency_rule=None),
@@ -44,14 +57,24 @@ def test_ablation_extensions(benchmark, world, record_result):
     }
 
     def run_all():
-        return {name: _run(world, cfg) for name, cfg in configs.items()}
+        return {
+            name: _run(world, cfg, cache_dir)
+            for name, cfg in configs.items()
+        }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    base_mean, base_rough = results["baseline (i-iii)"]
-    orgf_mean, _orgf_rough = results["+ same-org (iv)"]
-    _cons_mean, cons_rough = results["+ consistency (v)"]
-    ext_mean, ext_rough = results["extended (iv+v)"]
+    base_mean, base_rough, base_stats = results["baseline (i-iii)"]
+    orgf_mean, _orgf_rough, orgf_stats = results["+ same-org (iv)"]
+    _cons_mean, cons_rough, cons_stats = results["+ consistency (v)"]
+    ext_mean, ext_rough, ext_stats = results["extended (iv+v)"]
+
+    # Config pairs differing only in rule (v) share per-day entries:
+    # the later run of each pair must be served from cache entirely.
+    assert base_stats.days_from_cache == 0   # first of the (iv)=off pair
+    assert cons_stats.days_computed == 0     # reuses the baseline days
+    assert orgf_stats.days_from_cache == 0   # first of the (iv)=on pair
+    assert ext_stats.days_computed == 0      # reuses the same-org days
 
     # The same-org filter is what removes delegations ...
     assert orgf_mean < 0.85 * base_mean
@@ -64,7 +87,7 @@ def test_ablation_extensions(benchmark, world, record_result):
 
     rows = [
         [name, f"{mean:.1f}", f"{rough:.4f}"]
-        for name, (mean, rough) in results.items()
+        for name, (mean, rough, _stats) in results.items()
     ]
     record_result(
         "ablation_extensions",

@@ -4,7 +4,13 @@ Asserted shapes (appendix A): fail rate below 5 % at (M=10, N=0) — the
 rule the paper adopts; the fail rate never reaches 30 % even at
 M=100; at M=90 roughly 90 % of delegations are visible except for at
 most 3 days; fail rates grow with M and shrink with N.
+
+Also exercises the parallel M-sweep: a fanned-out evaluation must
+return exactly the sequential result.
 """
+
+import os
+import time
 
 from repro.analysis.report import render_comparison
 from repro.delegation.rpki_eval import evaluate_rules_on_rpki, fail_rate_curves
@@ -14,13 +20,27 @@ SPAN_VALUES = (2, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100)
 
 def test_fig5_consistency_rules(benchmark, world, record_result):
     database = world.rpki()
+    jobs = min(4, os.cpu_count() or 1)
+    timings = {}
 
-    evaluations = benchmark.pedantic(
-        evaluate_rules_on_rpki,
-        args=(database, SPAN_VALUES, (0, 1, 2, 3)),
-        rounds=1,
-        iterations=1,
+    def run_both():
+        t0 = time.perf_counter()
+        sequential = evaluate_rules_on_rpki(
+            database, SPAN_VALUES, (0, 1, 2, 3)
+        )
+        timings["sequential"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = evaluate_rules_on_rpki(
+            database, SPAN_VALUES, (0, 1, 2, 3), jobs=jobs
+        )
+        timings["parallel"] = time.perf_counter() - t0
+        return sequential, parallel
+
+    evaluations, parallel = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
     )
+    # Sharding the M sweep must not change a single count.
+    assert parallel == evaluations
     curves = fail_rate_curves(evaluations)
 
     by_key = {
@@ -50,6 +70,10 @@ def test_fig5_consistency_rules(benchmark, world, record_result):
                 ["visible at M=90 within N=3", "~90%",
                  f"{1.0 - by_key[(90, 3)]:.1%}"],
                 ["monotone in M and N", "yes", "yes"],
+                ["sequential sweep", "(before)",
+                 f"{timings['sequential']:.2f}s"],
+                [f"parallel sweep, jobs={jobs}", "matches sequential",
+                 f"{timings['parallel']:.2f}s"],
             ],
         ),
     )

@@ -103,6 +103,34 @@ def export_fig5_rules(
                   rows)
 
 
+def export_fig6_runner_stats(
+    results: "dict[str, InferenceResult]", path: PathLike
+) -> str:
+    """Fan-out and cache accounting for the Fig. 6 inference runs.
+
+    One row per named run (``extended`` / ``baseline``), taken from
+    the :class:`~repro.delegation.runner.RunnerStats` the parallel
+    runner attaches; sequential results (no stats) export zeros so the
+    CSV shape is stable.
+    """
+    rows = []
+    for name, result in sorted(results.items()):
+        stats = result.runner_stats
+        if stats is None:
+            rows.append([name, 1, len(result.observation_dates), 0, 0, ""])
+            continue
+        rows.append([
+            name, stats.jobs, stats.days_total, stats.days_from_cache,
+            stats.days_computed, f"{stats.elapsed_seconds:.3f}",
+        ])
+    return _write(
+        path,
+        ["run", "jobs", "days_total", "days_from_cache",
+         "days_computed", "elapsed_seconds"],
+        rows,
+    )
+
+
 def export_fig6_series(
     extended: InferenceResult,
     baseline: InferenceResult,

@@ -16,6 +16,7 @@ days after the last snapshot fall back to the last one).
 from __future__ import annotations
 
 import datetime
+import hashlib
 import pathlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
@@ -178,6 +179,20 @@ class As2OrgDataset:
     ) -> bool:
         """Same-organization test against the next available snapshot."""
         return self.snapshot_for(date).same_org(asn_a, asn_b)
+
+    def fingerprint(self) -> str:
+        """Content hash of every snapshot (stable across processes).
+
+        Used by :mod:`repro.delegation.runner` as the cache-key
+        component for extension (iv): two datasets with identical
+        snapshot dates and AS→org mappings share cached results, and
+        any mapping change invalidates them.
+        """
+        digest = hashlib.sha256()
+        for date in self.dates():
+            digest.update(date.isoformat().encode("ascii"))
+            digest.update(self._snapshots[date].render().encode("utf-8"))
+        return digest.hexdigest()
 
     # -- file I/O ------------------------------------------------------------
 

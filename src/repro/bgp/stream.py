@@ -54,14 +54,21 @@ class RouteStream:
         self._system = system
         self._source = source
         self._archive_dir = archive_dir
+        self._monitor_count: Optional[int] = None
 
     @property
     def system(self) -> CollectorSystem:
         return self._system
 
     def monitor_count(self) -> int:
-        """Total number of monitors feeding the stream."""
-        return len(self._system.all_monitors())
+        """Total number of monitors feeding the stream.
+
+        Cached: the monitor population is fixed for a stream's
+        lifetime, and per-day pipelines ask for it on every day.
+        """
+        if self._monitor_count is None:
+            self._monitor_count = len(self._system.all_monitors())
+        return self._monitor_count
 
     def records_on(self, date: datetime.date) -> Iterator[RouteRecord]:
         """All route records of one day."""
@@ -95,6 +102,21 @@ class RouteStream:
         if self._source is not None:
             return self._system.pair_counts_for_day(self._source(date))
         return prefix_origin_pairs(self.records_on(date))
+
+    def pairs_for_days(
+        self, dates: Iterable[datetime.date]
+    ) -> Iterator[
+        Tuple[datetime.date, Dict[IPv4Prefix, Tuple[OriginSet, int]]]
+    ]:
+        """Yield ``(date, pairs)`` for a batch of days.
+
+        The unit of work a :mod:`repro.delegation.runner` worker
+        executes for its shard: one stream (and its lazily built
+        backing world or archive readers) is reused across the whole
+        batch instead of being re-opened per day.
+        """
+        for date in dates:
+            yield date, self.pairs_on(date)
 
 
 def prefix_origin_pairs(

@@ -28,7 +28,7 @@ from repro.analysis.prices import (
 )
 from repro.analysis.report import render_table
 from repro.analysis.transfers import market_start_dates, transfer_counts
-from repro.delegation import DelegationInference, InferenceConfig
+from repro.delegation import InferenceConfig
 from repro.market.amortization import AmortizationScenario
 from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
 from repro.registry.rir import RIR
@@ -56,6 +56,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.delegation import WorldStreamFactory, run_inference
+
     world = _build_world(args)
     config = (
         InferenceConfig.baseline()
@@ -63,12 +65,15 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         else InferenceConfig.extended()
     )
     as2org = world.as2org() if config.same_org_filter else None
-    inference = DelegationInference(config, as2org)
-    result = inference.infer_range(
-        world.stream(),
+    result = run_inference(
+        WorldStreamFactory(world.config),
         world.config.bgp_start,
         world.config.bgp_end,
+        config,
+        as2org=as2org,
         step_days=args.step_days,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     rows = [
         [date, count, result.daily.addresses_on(date)]
@@ -173,9 +178,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         export_fig2_transfers,
         export_fig4_leasing,
         export_fig5_rules,
+        export_fig6_runner_stats,
         export_fig6_series,
     )
-    from repro.delegation import evaluate_rules_on_rpki
+    from repro.delegation import (
+        WorldStreamFactory,
+        evaluate_rules_on_rpki,
+        run_inference,
+    )
 
     world = _build_world(args)
     base = pathlib.Path(args.directory)
@@ -188,28 +198,49 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ),
         export_fig5_rules(
             evaluate_rules_on_rpki(
-                world.rpki(), (2, 5, 10, 20, 30, 50, 70, 90), (0, 1, 2, 3)
+                world.rpki(), (2, 5, 10, 20, 30, 50, 70, 90), (0, 1, 2, 3),
+                jobs=args.jobs or 0,
             ),
             base / "fig5.csv",
         ),
     ]
     if not args.skip_fig6:
-        extended = DelegationInference(
-            InferenceConfig.extended(), world.as2org()
-        ).infer_range(
-            world.stream(), world.config.bgp_start, world.config.bgp_end
+        factory = WorldStreamFactory(world.config)
+        extended = run_inference(
+            factory, world.config.bgp_start, world.config.bgp_end,
+            InferenceConfig.extended(), as2org=world.as2org(),
+            jobs=args.jobs, cache_dir=args.cache_dir,
         )
-        baseline = DelegationInference(
-            InferenceConfig.baseline()
-        ).infer_range(
-            world.stream(), world.config.bgp_start, world.config.bgp_end
+        baseline = run_inference(
+            factory, world.config.bgp_start, world.config.bgp_end,
+            InferenceConfig.baseline(),
+            jobs=args.jobs, cache_dir=args.cache_dir,
         )
         written.append(
             export_fig6_series(extended, baseline, base / "fig6.csv")
         )
+        written.append(
+            export_fig6_runner_stats(
+                {"extended": extended, "baseline": baseline},
+                base / "fig6_runner.csv",
+            )
+        )
     for path in written:
         print(path)
     return 0
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flags for commands that run the inference pipeline."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="inference worker processes (default: one per CPU core)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache per-day inference results under DIR; re-runs with "
+             "an unchanged configuration become near-instant",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--step-days", type=int, default=1)
     infer.add_argument("--tail", type=int, default=10,
                        help="show only the last N days (default 10)")
+    _add_runner_arguments(infer)
     infer.set_defaults(handler=_cmd_infer)
 
     market = commands.add_parser("market", help="print the market report")
@@ -255,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("directory")
     figures.add_argument("--skip-fig6", action="store_true",
                          help="skip the (slow) full inference run")
+    _add_runner_arguments(figures)
     figures.set_defaults(handler=_cmd_figures)
 
     advise = commands.add_parser(

@@ -6,6 +6,8 @@
   consistency-rule gap filling), all independently toggleable,
 - :mod:`~repro.delegation.consistency` — the "(M, N)" consistency-rule
   family, gap filling, and fail-rate evaluation,
+- :mod:`~repro.delegation.runner` — parallel day fan-out with an
+  on-disk, content-addressed result cache,
 - :mod:`~repro.delegation.rpki_eval` — Fig. 5: rule validation against
   RPKI delegation timelines,
 - :mod:`~repro.delegation.rdap_extract` — the RDAP pipeline (§4),
@@ -36,8 +38,15 @@ from repro.delegation.inference import (
 from repro.delegation.model import BgpDelegation, DailyDelegations, RdapDelegation
 from repro.delegation.rdap_extract import RdapExtractionStats, extract_rdap_delegations
 from repro.delegation.rpki_eval import RuleEvaluation, evaluate_rules_on_rpki
+from repro.delegation.runner import (
+    ArchiveStreamFactory,
+    RunnerStats,
+    WorldStreamFactory,
+    run_inference,
+)
 
 __all__ = [
+    "ArchiveStreamFactory",
     "BgpDelegation",
     "ConsistencyRule",
     "CoverageReport",
@@ -52,11 +61,14 @@ __all__ = [
     "RdapDelegation",
     "RdapExtractionStats",
     "RuleEvaluation",
+    "RunnerStats",
+    "WorldStreamFactory",
     "compare_delegations",
     "evaluate_rule",
     "evaluate_rules_on_rpki",
     "extract_rdap_delegations",
     "fill_gaps",
     "read_daily_delegations",
+    "run_inference",
     "write_daily_delegations",
 ]

@@ -95,17 +95,27 @@ def fail_rate(
     return violations / premises
 
 
-def _conflicts_by_prefix_day(
-    daily: DailyDelegations,
-) -> Dict[datetime.date, Dict[object, Set[int]]]:
-    """date → prefix → set of delegatee ASes observed that day."""
-    result: Dict[datetime.date, Dict[object, Set[int]]] = {}
-    for date in daily.dates():
-        per_prefix: Dict[object, Set[int]] = {}
-        for prefix, _s, delegatee in daily.on(date):
-            per_prefix.setdefault(prefix, set()).add(delegatee)
-        result[date] = per_prefix
-    return result
+def _conflict_days_by_prefix(
+    timelines: Mapping[DelegationKey, Sequence[datetime.date]],
+) -> Dict[object, Dict[int, Set[datetime.date]]]:
+    """prefix → delegatee → observation days, for *ambiguous* prefixes.
+
+    A conflict can only arise on a prefix delegated to more than one
+    delegatee somewhere in the window; those are rare (MOAS announcements
+    are dropped in step (iii)), so restricting the map to them keeps
+    :func:`fill_gaps` from indexing every (day, delegation) pair.
+    """
+    delegatees: Dict[object, Set[int]] = {}
+    for prefix, _delegator, delegatee in timelines:
+        delegatees.setdefault(prefix, set()).add(delegatee)
+    ambiguous = {p for p, seen in delegatees.items() if len(seen) > 1}
+    conflict_map: Dict[object, Dict[int, Set[datetime.date]]] = {}
+    for (prefix, _delegator, delegatee), dates in timelines.items():
+        if prefix in ambiguous:
+            conflict_map.setdefault(prefix, {}).setdefault(
+                delegatee, set()
+            ).update(dates)
+    return conflict_map
 
 
 def fill_gaps(
@@ -127,10 +137,12 @@ def fill_gaps(
     """
     sorted_dates = sorted(observation_dates)
     date_index = {date: i for i, date in enumerate(sorted_dates)}
-    conflicts = _conflicts_by_prefix_day(daily)
+    timelines = daily.timeline()
+    conflicts = _conflict_days_by_prefix(timelines)
     filled = daily.copy()
-    for key, dates in daily.timeline().items():
+    for key, dates in timelines.items():
         prefix, _delegator, delegatee = key
+        rivals = conflicts.get(prefix)
         for first, second in zip(dates, dates[1:]):
             gap_days = (second - first).days
             if gap_days <= 1 or gap_days > rule.max_span_days:
@@ -140,13 +152,15 @@ def fill_gaps(
             if start_i is None or end_i is None:
                 continue
             between = sorted_dates[start_i + 1:end_i]
-            conflicted = any(
-                other != delegatee
-                for day in between
-                for other in conflicts.get(day, {}).get(prefix, ())
-            )
-            if conflicted:
-                continue
+            if rivals is not None:
+                between_set = set(between)
+                conflicted = any(
+                    other != delegatee
+                    and not days.isdisjoint(between_set)
+                    for other, days in rivals.items()
+                )
+                if conflicted:
+                    continue
             for day in between:
                 filled.record(day, [key])
     return filled

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import datetime
 import logging
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -43,7 +44,17 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class InferenceConfig:
-    """Which steps of the pipeline run, and with which parameters."""
+    """Which steps of the pipeline run, and with which parameters.
+
+    Visibility semantics (step (ii)): a prefix-origin pair is **kept**
+    iff it was seen by *at least* ``visibility_threshold`` of all BGP
+    monitors — the paper drops pairs "seen by fewer than half of all
+    BGP monitors", so a pair seen by exactly half survives.  The
+    boundary is evaluated in integer space (see
+    :meth:`required_monitors`), so the same ``>=`` semantics hold
+    everywhere the threshold is applied: the per-day pipeline, the
+    parallel runner, and the A2 ablation sweep.
+    """
 
     visibility_threshold: float = 0.5
     drop_non_unique_origins: bool = True
@@ -54,6 +65,18 @@ class InferenceConfig:
     def __post_init__(self) -> None:
         if not 0.0 <= self.visibility_threshold <= 1.0:
             raise ReproError("visibility threshold must be in [0, 1]")
+
+    def required_monitors(self, total_monitors: int) -> int:
+        """Minimum monitor count a pair needs to survive step (ii).
+
+        ``ceil(threshold * total)``, with a tolerance so binary float
+        rounding cannot flip the boundary: ``0.1 * 30`` evaluates to
+        ``3.0000000000000004``, which a naive ``count < threshold *
+        total`` comparison would wrongly round *up* — dropping a pair
+        seen by exactly the threshold share of monitors.
+        """
+        exact = self.visibility_threshold * total_monitors
+        return max(0, math.ceil(exact - 1e-9))
 
     @classmethod
     def baseline(cls) -> "InferenceConfig":
@@ -78,6 +101,10 @@ class InferenceResult:
     pairs_dropped_origin: int = 0
     delegations_dropped_same_org: int = 0
     sanitize_stats: SanitizeStats = field(default_factory=SanitizeStats)
+    #: Populated by :mod:`repro.delegation.runner` (a
+    #: :class:`~repro.delegation.runner.RunnerStats`); ``None`` for
+    #: plain sequential runs.
+    runner_stats: Optional[object] = None
 
     def counts_series(self) -> List[Tuple[datetime.date, int]]:
         """(date, #delegations) — the Fig. 6 top series."""
@@ -168,7 +195,7 @@ class DelegationInference:
             result.pairs_seen += len(pairs)
 
         # (ii) global-visibility filter.
-        needed = config.visibility_threshold * total_monitors
+        needed = config.required_monitors(total_monitors)
         visible: Dict[IPv4Prefix, object] = {}
         for prefix, (origin_set, monitor_count) in pairs.items():
             if monitor_count < needed:

@@ -18,12 +18,18 @@ from repro.errors import DatasetError
 from repro.netbase.prefix import IPv4Prefix
 
 
-def _key_to_json(key: DelegationKey) -> List[object]:
+def key_to_json(key: DelegationKey) -> List[object]:
+    """``(P', S, T)`` → JSON-safe ``[str(P'), S, T]``.
+
+    Shared by the JSONL result files here and the per-day cache
+    payloads in :mod:`repro.delegation.runner`.
+    """
     prefix, delegator, delegatee = key
     return [str(prefix), delegator, delegatee]
 
 
-def _key_from_json(raw: object) -> DelegationKey:
+def key_from_json(raw: object) -> DelegationKey:
+    """Inverse of :func:`key_to_json`; raises :class:`DatasetError`."""
     if not isinstance(raw, list) or len(raw) != 3:
         raise DatasetError(f"malformed delegation key: {raw!r}")
     prefix_text, delegator, delegatee = raw
@@ -32,6 +38,10 @@ def _key_from_json(raw: object) -> DelegationKey:
         int(delegator),
         int(delegatee),
     )
+
+# Backwards-compatible aliases (pre-runner internal names).
+_key_to_json = key_to_json
+_key_from_json = key_from_json
 
 
 def write_daily_delegations(
@@ -44,7 +54,7 @@ def write_daily_delegations(
     with open(path, "w", encoding="utf-8") as handle:
         for date in daily.dates():
             keys = sorted(
-                _key_to_json(key) for key in daily.on(date)
+                key_to_json(key) for key in daily.on(date)
             )
             handle.write(json.dumps({
                 "date": date.isoformat(),
@@ -67,7 +77,7 @@ def read_daily_delegations(
                 payload = json.loads(line)
                 date = datetime.date.fromisoformat(str(payload["date"]))
                 keys = [
-                    _key_from_json(raw)
+                    key_from_json(raw)
                     for raw in payload["delegations"]
                 ]
             except (KeyError, ValueError, TypeError) as exc:

@@ -12,11 +12,14 @@ observable day by day.  Expected shape (paper):
 
 from __future__ import annotations
 
+import concurrent.futures
 import datetime
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.delegation.consistency import ConsistencyRule, evaluate_rule
+from repro.errors import ReproError
 from repro.rpki.database import RoaDatabase
 
 
@@ -96,20 +99,13 @@ def _evaluate_daily_fast(
     ]
 
 
-def evaluate_rules_on_rpki(
-    database: RoaDatabase,
+def _evaluate_span_subset(
+    timelines: Dict[tuple, Sequence[datetime.date]],
+    observation_dates: Sequence[datetime.date],
     span_values: Sequence[int],
-    missing_values: Sequence[int] = (0, 1, 2, 3),
+    missing_values: Sequence[int],
 ) -> List[RuleEvaluation]:
-    """Evaluate every (M, N) combination on the database's delegations.
-
-    Returns one :class:`RuleEvaluation` per combination, ordered by
-    (M, N) — the Fig. 5 data: fail rate on the y-axis against M on the
-    x-axis, one curve per N.  Daily snapshot grids take a prefix-sum
-    fast path; sparse grids fall back to the generic evaluator.
-    """
-    timelines = database.delegation_timeline()
-    observation_dates = database.dates()
+    """Evaluate a subset of M values (the parallel unit of work)."""
     if _is_daily_grid(observation_dates):
         return _evaluate_daily_fast(
             timelines, observation_dates, span_values, missing_values
@@ -129,6 +125,64 @@ def evaluate_rules_on_rpki(
                     violations=violations,
                 )
             )
+    return evaluations
+
+
+def evaluate_rules_on_rpki(
+    database: RoaDatabase,
+    span_values: Sequence[int],
+    missing_values: Sequence[int] = (0, 1, 2, 3),
+    *,
+    jobs: Optional[int] = None,
+) -> List[RuleEvaluation]:
+    """Evaluate every (M, N) combination on the database's delegations.
+
+    Returns one :class:`RuleEvaluation` per combination, ordered by
+    (M, N) — the Fig. 5 data: fail rate on the y-axis against M on the
+    x-axis, one curve per N.  Daily snapshot grids take a prefix-sum
+    fast path; sparse grids fall back to the generic evaluator.
+
+    ``jobs`` fans the M sweep out over worker processes (the timelines
+    are extracted once in the parent and shipped to each worker once);
+    ``jobs=None`` or ``1`` evaluates in-process, and ``jobs=0`` means
+    "use every core" (``os.cpu_count()``).  Results are ordered
+    identically either way.
+    """
+    timelines = database.delegation_timeline()
+    observation_dates = database.dates()
+    spans = sorted(span_values)
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    resolved_jobs = min(jobs or 1, len(spans))
+    if resolved_jobs <= 1:
+        return _evaluate_span_subset(
+            timelines, observation_dates, spans, missing_values
+        )
+    # Round-robin sharding balances the load: the cost of one M value
+    # scales with its premise count, which shrinks as M grows.
+    shards = [spans[i::resolved_jobs] for i in range(resolved_jobs)]
+    evaluations: List[RuleEvaluation] = []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=resolved_jobs
+    ) as executor:
+        futures = [
+            executor.submit(
+                _evaluate_span_subset,
+                timelines, observation_dates, shard, missing_values,
+            )
+            for shard in shards
+        ]
+        for future in futures:
+            try:
+                evaluations.extend(future.result())
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ReproError(
+                    "rule-evaluation worker failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+    evaluations.sort(key=lambda e: (e.max_span_days, e.allowed_missing))
     return evaluations
 
 

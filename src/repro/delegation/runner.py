@@ -1,0 +1,472 @@
+"""Parallel, cached execution of the delegation-inference pipeline.
+
+The Fig. 6 measurement runs steps (i)–(iv) on ~880 independent daily
+RIBs and applies the cross-day consistency rule (v) once over the
+whole window.  The per-day passes are embarrassingly parallel and
+fully determined by the inference configuration plus the input data,
+so this module provides:
+
+- **day fan-out** across a :class:`concurrent.futures.
+  ProcessPoolExecutor` — the date range is sharded into contiguous
+  chunks, each worker builds its route stream once (from a picklable
+  *stream factory*) and reuses it for every day of its shard, and the
+  as2org snapshots are shipped to each worker once at pool start-up
+  instead of being re-loaded per day;
+- **an on-disk, content-addressed result cache** — one small JSON file
+  per (config, input, day), keyed on the :class:`~repro.delegation.
+  inference.InferenceConfig` fields that affect steps (i)–(iv) plus
+  fingerprints of the input stream and the as2org dataset.  Re-running
+  with an unchanged configuration is a pure cache read; ablation
+  sweeps only recompute the days whose parameters actually changed
+  (in particular, sweeping the consistency rule (v) never invalidates
+  the per-day cache, because (v) runs after the fan-in);
+- **fan-in** in the parent: per-day results are merged in date order
+  into one :class:`~repro.delegation.inference.InferenceResult`, and
+  extension (v) is applied exactly once, so the output is
+  byte-identical to the sequential
+  :meth:`~repro.delegation.inference.DelegationInference.infer_range`.
+
+Worker failures (including hard crashes that break the pool) surface
+as :class:`~repro.errors.ReproError` instead of a hang or a raw
+``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import datetime
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.asorg.as2org import As2OrgDataset
+from repro.bgp.stream import RouteStream, date_range
+from repro.delegation.consistency import fill_gaps
+from repro.delegation.inference import (
+    DelegationInference,
+    InferenceConfig,
+    InferenceResult,
+)
+from repro.delegation.io import key_from_json, key_to_json
+from repro.delegation.model import DailyDelegations
+from repro.errors import ReproError
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the cache payload layout changes: old entries become
+#: misses instead of being misread.
+CACHE_SCHEMA = 1
+
+#: Target number of chunks per worker — small enough to amortize task
+#: dispatch, large enough to keep the pool busy when days vary in cost.
+_CHUNKS_PER_WORKER = 4
+
+#: A picklable zero-argument callable building the worker's stream.
+StreamFactory = Callable[[], RouteStream]
+
+
+@dataclass(frozen=True)
+class WorldStreamFactory:
+    """Build a :class:`RouteStream` from a scenario, in any process.
+
+    The scenario config is a small frozen dataclass, so shipping the
+    factory to a worker costs a few hundred bytes; the worker then
+    regenerates its own deterministic world (topology, propagation,
+    announcement source) exactly once and serves every day of its
+    shard from it.
+    """
+
+    scenario: object  # repro.simulation.scenario.ScenarioConfig
+
+    def __call__(self) -> RouteStream:
+        from repro.simulation import World
+
+        return World(self.scenario).stream()
+
+    def fingerprint(self) -> str:
+        """Input identity for the cache key.
+
+        ``repr`` of a frozen dataclass is deterministic across
+        processes (unlike ``hash``) and covers every generation
+        parameter, including the seed.
+        """
+        text = f"world:{self.scenario!r}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArchiveStreamFactory:
+    """Build an archive-backed :class:`RouteStream` in any process.
+
+    ``system_factory`` must itself be picklable and rebuild the
+    :class:`~repro.bgp.collector.CollectorSystem` describing the
+    monitor population (needed for the visibility denominator).
+    """
+
+    archive_dir: str
+    system_factory: Callable[[], object]
+
+    def __call__(self) -> RouteStream:
+        return RouteStream(
+            self.system_factory(), archive_dir=self.archive_dir
+        )
+
+    def fingerprint(self) -> str:
+        """Hash of the archive's file names and sizes.
+
+        Cheap (no content read) but catches added/removed days and
+        rewritten files of different length; byte-level edits that
+        preserve the size are considered the same input.
+        """
+        base = pathlib.Path(self.archive_dir)
+        digest = hashlib.sha256(b"archive:")
+        for path in sorted(base.rglob("*.jsonl")):
+            stat = path.stat()
+            entry = f"{path.relative_to(base)}:{stat.st_size}"
+            digest.update(entry.encode("utf-8"))
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """What one :func:`run_inference` call actually did."""
+
+    jobs: int
+    days_total: int
+    days_from_cache: int
+    days_computed: int
+    elapsed_seconds: float
+    cache_dir: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.days_total == 0:
+            return 0.0
+        return self.days_from_cache / self.days_total
+
+
+# -- cache ----------------------------------------------------------------
+
+
+def _cache_key(
+    config: InferenceConfig,
+    date: datetime.date,
+    input_fingerprint: str,
+    as2org_fingerprint: Optional[str],
+) -> str:
+    """Content address of one day's steps (i)–(iv) output.
+
+    Deliberately excludes ``consistency_rule``: extension (v) is
+    applied after the fan-in, so sweeping (M, N) reuses every per-day
+    entry.  The as2org fingerprint only participates when extension
+    (iv) is on — toggling datasets cannot invalidate runs that never
+    consulted them.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "date": date.isoformat(),
+        "visibility_threshold": repr(config.visibility_threshold),
+        "drop_non_unique_origins": config.drop_non_unique_origins,
+        "same_org_filter": config.same_org_filter,
+        "sanitize": config.sanitize,
+        "input": input_fingerprint,
+        "as2org": as2org_fingerprint if config.same_org_filter else None,
+    }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
+    # Two-level fan-out keeps directories small on multi-year sweeps.
+    return cache_dir / key[:2] / f"{key}.json"
+
+
+def _cache_read(path: pathlib.Path) -> Optional[dict]:
+    """Load a payload, treating missing/corrupt entries as misses."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError):
+        logger.warning("discarding unreadable cache entry %s", path)
+        return None
+    if not isinstance(payload, dict) or "delegations" not in payload:
+        logger.warning("discarding malformed cache entry %s", path)
+        return None
+    return payload
+
+
+def _cache_write(path: pathlib.Path, payload: dict) -> None:
+    """Atomic write: concurrent runs never observe torn entries."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    os.replace(tmp, path)
+
+
+# -- per-day computation (shared by workers and the in-process path) ------
+
+
+def _compute_day_payload(
+    stream: RouteStream,
+    inference: DelegationInference,
+    total_monitors: int,
+    date: datetime.date,
+) -> dict:
+    """Steps (i)–(iv) for one day, as a JSON-safe payload.
+
+    The payload doubles as the cache file format: sorted delegation
+    keys plus the bookkeeping counters the sequential path accumulates.
+    """
+    scratch = InferenceResult(
+        daily=DailyDelegations(), config=inference.config
+    )
+    delegations = inference.infer_day_from_pairs(
+        stream.pairs_on(date), total_monitors, date, scratch
+    )
+    return {
+        "schema": CACHE_SCHEMA,
+        "date": date.isoformat(),
+        "delegations": sorted(key_to_json(d.key()) for d in delegations),
+        "counters": {
+            "pairs_seen": scratch.pairs_seen,
+            "pairs_dropped_visibility": scratch.pairs_dropped_visibility,
+            "pairs_dropped_origin": scratch.pairs_dropped_origin,
+            "delegations_dropped_same_org":
+                scratch.delegations_dropped_same_org,
+            "bogon_prefix": scratch.sanitize_stats.bogon_prefix,
+        },
+    }
+
+
+# -- worker side ----------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    factory: StreamFactory,
+    config: InferenceConfig,
+    as2org: Optional[As2OrgDataset],
+) -> None:
+    """Pool initializer: runs once per worker process.
+
+    The factory and the (potentially large) as2org dataset are
+    transferred exactly once here; the stream itself is built lazily on
+    the first chunk so that pool start-up stays cheap.
+    """
+    _WORKER_STATE.clear()
+    _WORKER_STATE["factory"] = factory
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["as2org"] = as2org
+
+
+def _worker_run_chunk(dates: Sequence[datetime.date]) -> List[dict]:
+    """Execute steps (i)–(iv) for one shard of days."""
+    stream = _WORKER_STATE.get("stream")
+    if stream is None:
+        stream = _WORKER_STATE["factory"]()
+        _WORKER_STATE["stream"] = stream
+        _WORKER_STATE["inference"] = DelegationInference(
+            _WORKER_STATE["config"], _WORKER_STATE["as2org"]
+        )
+        _WORKER_STATE["total_monitors"] = stream.monitor_count()
+    inference = _WORKER_STATE["inference"]
+    total_monitors = _WORKER_STATE["total_monitors"]
+    return [
+        _compute_day_payload(stream, inference, total_monitors, date)
+        for date in dates
+    ]
+
+
+# -- parent side ----------------------------------------------------------
+
+
+def _chunk(items: Sequence, size: int) -> List[List]:
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def run_inference(
+    stream_factory: StreamFactory,
+    start: datetime.date,
+    end: datetime.date,
+    config: Optional[InferenceConfig] = None,
+    *,
+    as2org: Optional[As2OrgDataset] = None,
+    step_days: int = 1,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> InferenceResult:
+    """Run the full pipeline over ``[start, end)``, in parallel.
+
+    ``stream_factory`` must be a zero-argument callable returning the
+    :class:`RouteStream` to read (e.g. :class:`WorldStreamFactory`);
+    with ``jobs > 1`` it must be picklable, and with ``cache_dir`` set
+    it must additionally expose a ``fingerprint()`` identifying the
+    input data.  ``jobs=None`` uses ``os.cpu_count()``.
+
+    Returns an :class:`InferenceResult` byte-identical (in its
+    ``daily`` delegations) to the sequential
+    :meth:`DelegationInference.infer_range`, with ``runner_stats``
+    describing the fan-out and cache behaviour.
+    """
+    began = time.perf_counter()
+    config = config or InferenceConfig()
+    if config.same_org_filter and as2org is None:
+        raise ReproError("same_org_filter requires an as2org dataset")
+
+    dates = list(date_range(start, end, step_days))
+    resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if resolved_jobs < 1:
+        raise ReproError("jobs must be at least 1")
+
+    cache_base: Optional[pathlib.Path] = None
+    input_fp = as2org_fp = None
+    if cache_dir is not None:
+        fingerprint = getattr(stream_factory, "fingerprint", None)
+        if fingerprint is None:
+            raise ReproError(
+                "caching requires a stream factory with a fingerprint() "
+                "identifying its input data"
+            )
+        cache_base = pathlib.Path(cache_dir)
+        input_fp = fingerprint()
+        if config.same_org_filter:
+            assert as2org is not None
+            as2org_fp = as2org.fingerprint()
+
+    # Phase 1: resolve cache hits.
+    payload_by_date: Dict[datetime.date, dict] = {}
+    missing: List[datetime.date] = []
+    if cache_base is not None:
+        for date in dates:
+            key = _cache_key(config, date, input_fp, as2org_fp)
+            payload = _cache_read(_cache_path(cache_base, key))
+            if payload is None:
+                missing.append(date)
+            else:
+                payload_by_date[date] = payload
+    else:
+        missing = list(dates)
+
+    # Phase 2: compute the misses — fanned out or in-process.
+    computed: List[dict] = []
+    if missing:
+        if resolved_jobs > 1 and len(missing) > 1:
+            computed = _compute_parallel(
+                stream_factory, config, as2org, missing, resolved_jobs
+            )
+        else:
+            stream = stream_factory()
+            inference = DelegationInference(config, as2org)
+            total_monitors = stream.monitor_count()
+            computed = [
+                _compute_day_payload(stream, inference, total_monitors, date)
+                for date in missing
+            ]
+    for payload in computed:
+        date = datetime.date.fromisoformat(payload["date"])
+        payload_by_date[date] = payload
+        if cache_base is not None:
+            key = _cache_key(config, date, input_fp, as2org_fp)
+            _cache_write(_cache_path(cache_base, key), payload)
+
+    # Phase 3: fan-in, in date order, then extension (v) exactly once.
+    # Consecutive days share almost all delegations, so prefixes are
+    # interned: each distinct prefix string is parsed once and the
+    # same IPv4Prefix object is reused across the whole window.
+    interned: Dict[str, object] = {}
+
+    def _decode(raw: list) -> tuple:
+        text, delegator, delegatee = raw
+        prefix = interned.get(text)
+        if prefix is None:
+            prefix = key_from_json(raw)[0]
+            interned[text] = prefix
+        return (prefix, delegator, delegatee)
+
+    result = InferenceResult(daily=DailyDelegations(), config=config)
+    for date in dates:
+        payload = payload_by_date[date]
+        result.observation_dates.append(date)
+        counters = payload.get("counters", {})
+        result.pairs_seen += counters.get("pairs_seen", 0)
+        result.pairs_dropped_visibility += counters.get(
+            "pairs_dropped_visibility", 0
+        )
+        result.pairs_dropped_origin += counters.get(
+            "pairs_dropped_origin", 0
+        )
+        result.delegations_dropped_same_org += counters.get(
+            "delegations_dropped_same_org", 0
+        )
+        result.sanitize_stats.bogon_prefix += counters.get(
+            "bogon_prefix", 0
+        )
+        result.daily.record(
+            date, (_decode(raw) for raw in payload["delegations"])
+        )
+    if config.consistency_rule is not None:
+        result.daily = fill_gaps(
+            result.daily, config.consistency_rule, result.observation_dates
+        )
+
+    result.runner_stats = RunnerStats(
+        jobs=resolved_jobs,
+        days_total=len(dates),
+        days_from_cache=len(dates) - len(missing),
+        days_computed=len(missing),
+        elapsed_seconds=time.perf_counter() - began,
+        cache_dir=str(cache_base) if cache_base is not None else None,
+    )
+    logger.info(
+        "runner: %d days (%d cached, %d computed) with %d jobs in %.2fs",
+        len(dates), len(dates) - len(missing), len(missing),
+        resolved_jobs, result.runner_stats.elapsed_seconds,
+    )
+    return result
+
+
+def _compute_parallel(
+    stream_factory: StreamFactory,
+    config: InferenceConfig,
+    as2org: Optional[As2OrgDataset],
+    missing: Sequence[datetime.date],
+    jobs: int,
+) -> List[dict]:
+    """Fan the missing days out over a process pool."""
+    workers = min(jobs, len(missing))
+    chunk_size = max(
+        1, -(-len(missing) // (workers * _CHUNKS_PER_WORKER))
+    )
+    chunks = _chunk(missing, chunk_size)
+    payloads: List[dict] = []
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(stream_factory, config, as2org),
+    )
+    try:
+        futures = [
+            executor.submit(_worker_run_chunk, chunk) for chunk in chunks
+        ]
+        for future in futures:
+            try:
+                payloads.extend(future.result())
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ReproError(
+                    "delegation-inference worker failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return payloads

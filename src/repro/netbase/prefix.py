@@ -78,7 +78,7 @@ class IPv4Prefix:
     True
     """
 
-    __slots__ = ("_network", "_length")
+    __slots__ = ("_network", "_length", "_hash")
 
     def __init__(self, network: int, length: int, *, strict: bool = True):
         if not 0 <= length <= ADDRESS_BITS:
@@ -92,6 +92,9 @@ class IPv4Prefix:
             )
         object.__setattr__(self, "_network", masked)
         object.__setattr__(self, "_length", length)
+        # Prefixes spend their lives as dict/set keys (routing tables,
+        # delegation timelines), so the hash is precomputed once.
+        object.__setattr__(self, "_hash", hash((masked, length)))
 
     # -- construction -------------------------------------------------
 
@@ -267,7 +270,7 @@ class IPv4Prefix:
         return not result
 
     def __hash__(self) -> int:
-        return hash((self._network, self._length))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IPv4Prefix.parse({str(self)!r})"
@@ -277,3 +280,12 @@ class IPv4Prefix:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("IPv4Prefix is immutable")
+
+    def __reduce__(self):
+        # The default slots-based pickling restores state via
+        # ``setattr``, which the immutability guard above rejects;
+        # rebuild through __init__ instead (the stored network is
+        # already canonical, so strict mode is safe).  Without this,
+        # prefixes cannot cross process boundaries — which the
+        # parallel runner and rule sweeps rely on.
+        return (self.__class__, (self._network, self._length))

@@ -85,6 +85,21 @@ class TestEvaluateRule:
         assert rate == 1.0
         assert fail_rate({}, ConsistencyRule(10, 0), dates) == 0.0
 
+    def test_premise_spans_exactly_m_minus_one_between_days(self):
+        # Boundary audit: a (M=10, N) premise judges exactly the M-1
+        # days strictly between X and X+M — boundary days X and X+M
+        # are the observations themselves, never "missing".
+        dates = grid(D(2020, 1, 1), 11)
+        observed = [dates[0], dates[10]]  # absent on all 9 between
+        premises, violations = evaluate_rule(
+            {KEY: observed}, ConsistencyRule(10, 9), dates
+        )
+        assert premises == 1 and violations == 0  # 9 missing == N
+        premises, violations = evaluate_rule(
+            {KEY: observed}, ConsistencyRule(10, 8), dates
+        )
+        assert premises == 1 and violations == 1  # 9 missing > N=8
+
     def test_monotone_in_n(self):
         dates = grid(D(2020, 1, 1), 31)
         observed = [d for i, d in enumerate(dates) if i % 4 != 3]
@@ -147,6 +162,45 @@ class TestFillGaps:
         daily = self._daily([dates[0], dates[5]])
         fill_gaps(daily, ConsistencyRule(10, 0), dates)
         assert KEY not in daily.on(dates[2])
+
+    def test_fills_exact_m_day_span(self):
+        # Boundary audit: observations exactly M days apart are the
+        # *largest* gap the rule fills; an off-by-one either way would
+        # fill M+1 or stop at M-1.
+        dates = grid(D(2020, 1, 1), 12)
+        daily = self._daily([dates[0], dates[10]])  # gap == M == 10
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        for date in dates[1:10]:  # all 9 = M-1 in-between days
+            assert KEY in filled.on(date)
+        assert KEY not in filled.on(dates[11])
+
+    def test_does_not_fill_m_plus_one_span(self):
+        dates = grid(D(2020, 1, 1), 12)
+        daily = self._daily([dates[0], dates[11]])  # gap == M + 1
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        for date in dates[1:11]:
+            assert KEY not in filled.on(date)
+
+    def test_conflict_on_boundary_days_does_not_block(self):
+        # The rule's premise is about the days *between* X and X+M; a
+        # conflicting delegation coexisting on X or X+M themselves (a
+        # MOAS-style overlap) must not suppress the fill.
+        dates = grid(D(2020, 1, 1), 11)
+        daily = self._daily([dates[0], dates[10]])
+        daily.record(dates[0], [CONFLICT_KEY])
+        daily.record(dates[10], [CONFLICT_KEY])
+        filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+        for date in dates[1:10]:
+            assert KEY in filled.on(date)
+
+    def test_conflict_adjacent_to_boundary_blocks(self):
+        # ... but the first/last *in-between* day (X+1, X+M-1) counts.
+        dates = grid(D(2020, 1, 1), 11)
+        for conflict_day in (dates[1], dates[9]):
+            daily = self._daily([dates[0], dates[10]])
+            daily.record(conflict_day, [CONFLICT_KEY])
+            filled = fill_gaps(daily, ConsistencyRule(10, 0), dates)
+            assert KEY not in filled.on(dates[5])
 
     def test_variance_reduction_effect(self):
         """Gap filling flattens an on-off pattern (Fig. 6's point)."""

@@ -163,6 +163,61 @@ class TestBaseAlgorithm:
         assert run_day(system, announcements, InferenceConfig.baseline()) == []
 
 
+class TestVisibilityBoundary:
+    """The threshold comparison is inclusive: exactly the threshold
+    fraction of monitors keeps a pair (`>=`, never strict `>`)."""
+
+    def test_required_monitors_is_exact_at_representable_products(self):
+        # 0.1 * 30 is 3.0000000000000004 in floats; a naive
+        # ``count < threshold * total`` comparison would demand 4
+        # monitors.  required_monitors() must say 3.
+        assert InferenceConfig(
+            visibility_threshold=0.1).required_monitors(30) == 3
+        assert InferenceConfig(
+            visibility_threshold=0.5).required_monitors(4) == 2
+        assert InferenceConfig(
+            visibility_threshold=0.0).required_monitors(7) == 0
+        assert InferenceConfig(
+            visibility_threshold=1.0).required_monitors(7) == 7
+        # Non-representable products round *up*: 1.4 monitors means a
+        # pair needs 2 to reach 10 % of 14.
+        assert InferenceConfig(
+            visibility_threshold=0.1).required_monitors(14) == 2
+
+    def _run_pair(self, monitor_count, total_monitors, threshold):
+        from repro.netbase.asnum import OriginSet
+
+        config = InferenceConfig(
+            visibility_threshold=threshold,
+            same_org_filter=False,
+            consistency_rule=None,
+        )
+        result = InferenceResult(daily=DailyDelegations(), config=config)
+        pairs = {
+            p("101.0.0.0/16"): (OriginSet.single(30), total_monitors),
+            p("101.0.4.0/24"): (OriginSet.single(31), monitor_count),
+        }
+        DelegationInference(config).infer_day_from_pairs(
+            pairs, total_monitors, D(2020, 1, 1), result
+        )
+        return result
+
+    def test_pair_at_exactly_threshold_survives(self):
+        # 3 of 30 monitors at threshold 0.1: exactly half-open boundary.
+        result = self._run_pair(3, 30, 0.1)
+        assert result.pairs_dropped_visibility == 0
+
+    def test_pair_below_threshold_dropped(self):
+        result = self._run_pair(2, 30, 0.1)
+        assert result.pairs_dropped_visibility == 1
+
+    def test_exactly_half_the_monitors_survives(self):
+        # The paper's threshold: seen by half the monitors.  Exactly
+        # half must survive (>=), one fewer must not.
+        assert self._run_pair(2, 4, 0.5).pairs_dropped_visibility == 0
+        assert self._run_pair(1, 4, 0.5).pairs_dropped_visibility == 1
+
+
 class TestExtensions:
     def test_same_org_filter(self, system, as2org):
         announcements = [

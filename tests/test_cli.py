@@ -22,6 +22,16 @@ class TestParser:
         assert args.prefix_length == 22
         assert args.horizon_years == 5.0
 
+    def test_runner_flags(self):
+        args = build_parser().parse_args(
+            ["infer", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        args = build_parser().parse_args(["figures", "out"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+
 
 class TestCommands:
     def test_market(self, capsys):
@@ -44,6 +54,18 @@ class TestCommands:
         assert "extended algorithm" in out
         # Title + header + separator + 3 rows.
         assert len(out.strip().splitlines()) == 6
+
+    def test_infer_with_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "infer", "--step-days", "7", "--tail", "2",
+            "--jobs", "1", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert list(cache.rglob("*.json"))  # cache got populated
+        assert main(argv) == 0  # warm re-run: identical table
+        assert capsys.readouterr().out == cold
 
     def test_infer_baseline(self, capsys):
         assert main([
