@@ -21,13 +21,21 @@ from repro.delegation.inference import InferenceResult
 from repro.delegation.rpki_eval import RuleEvaluation, fail_rate_curves
 from repro.market.leasing import ScrapeLog
 from repro.market.transactions import TransactionDataset
+from repro.obs.metrics import NULL, MetricsRegistry
 from repro.registry.rir import RIR
 from repro.registry.transfers import TransferLedger
 
 PathLike = Union[str, pathlib.Path]
 
 
-def _write(path: PathLike, header, rows) -> str:
+def _write(
+    path: PathLike,
+    header,
+    rows,
+    *,
+    metrics: MetricsRegistry = NULL,
+    figure: str = "",
+) -> str:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     buffer = io.StringIO()
@@ -35,39 +43,54 @@ def _write(path: PathLike, header, rows) -> str:
     writer.writerow(header)
     writer.writerows(rows)
     path.write_text(buffer.getvalue(), encoding="utf-8")
+    if figure:
+        metrics.inc(f"figures.{figure}.rows", len(rows))
+        metrics.inc("figures.files_written")
     return str(path)
 
 
 def export_fig1_prices(
-    dataset: TransactionDataset, path: PathLike
+    dataset: TransactionDataset,
+    path: PathLike,
+    *,
+    metrics: MetricsRegistry = NULL,
 ) -> str:
     """Quarterly box statistics per size bucket and region."""
     rows = []
-    for entry in quarterly_price_stats(dataset, by_region=True):
-        stats = entry.stats
-        rows.append([
-            entry.year, entry.quarter, entry.bucket,
-            entry.region.value if entry.region else "all",
-            stats.count, f"{stats.minimum:.2f}", f"{stats.q1:.2f}",
-            f"{stats.median:.2f}", f"{stats.q3:.2f}",
-            f"{stats.maximum:.2f}",
-        ])
-    return _write(
-        path,
-        ["year", "quarter", "bucket", "region", "n",
-         "min", "q1", "median", "q3", "max"],
-        rows,
-    )
+    with metrics.span("figures.fig1"):
+        for entry in quarterly_price_stats(dataset, by_region=True):
+            stats = entry.stats
+            rows.append([
+                entry.year, entry.quarter, entry.bucket,
+                entry.region.value if entry.region else "all",
+                stats.count, f"{stats.minimum:.2f}", f"{stats.q1:.2f}",
+                f"{stats.median:.2f}", f"{stats.q3:.2f}",
+                f"{stats.maximum:.2f}",
+            ])
+        return _write(
+            path,
+            ["year", "quarter", "bucket", "region", "n",
+             "min", "q1", "median", "q3", "max"],
+            rows,
+            metrics=metrics, figure="fig1",
+        )
 
 
-def export_fig2_transfers(ledger: TransferLedger, path: PathLike) -> str:
+def export_fig2_transfers(
+    ledger: TransferLedger,
+    path: PathLike,
+    *,
+    metrics: MetricsRegistry = NULL,
+) -> str:
     """Per-region market-transfer counts in 3-month bins."""
     rows = []
-    for rir, series in transfer_counts(ledger).items():
-        for bin_start, count in series:
-            rows.append([rir.value, bin_start.isoformat(), count])
-    rows.sort()
-    return _write(path, ["region", "bin_start", "transfers"], rows)
+    with metrics.span("figures.fig2"):
+        for rir, series in transfer_counts(ledger).items():
+            for bin_start, count in series:
+                rows.append([rir.value, bin_start.isoformat(), count])
+        rows.sort()
+        return _write(path, ["region", "bin_start", "transfers"], rows,
+                      metrics=metrics, figure="fig2")
 
 
 def export_fig4_leasing(
@@ -77,34 +100,46 @@ def export_fig4_leasing(
     path: PathLike,
     *,
     step_days: int = 7,
+    metrics: MetricsRegistry = NULL,
 ) -> str:
     """Advertised leasing price series per provider."""
-    records = log.scrape_series(start, end, step_days)
-    if not any(record.date == end for record in records):
-        records.extend(log.scrape(end))
-    rows = []
-    for provider, points in sorted(provider_series(records).items()):
-        for date, price in points:
-            rows.append([provider, date.isoformat(), f"{price:.2f}"])
-    return _write(path, ["provider", "date", "price_per_ip_month"], rows)
+    with metrics.span("figures.fig4"):
+        records = log.scrape_series(start, end, step_days)
+        if not any(record.date == end for record in records):
+            records.extend(log.scrape(end))
+        rows = []
+        for provider, points in sorted(provider_series(records).items()):
+            for date, price in points:
+                rows.append([provider, date.isoformat(), f"{price:.2f}"])
+        return _write(path, ["provider", "date", "price_per_ip_month"],
+                      rows, metrics=metrics, figure="fig4")
 
 
 def export_fig5_rules(
-    evaluations: "list[RuleEvaluation]", path: PathLike
+    evaluations: "list[RuleEvaluation]",
+    path: PathLike,
+    *,
+    metrics: MetricsRegistry = NULL,
 ) -> str:
     """Fail-rate curves: one row per (N, M) point."""
     rows = []
-    for allowed_missing, series in sorted(
-        fail_rate_curves(evaluations).items()
-    ):
-        for span, rate in series:
-            rows.append([allowed_missing, span, f"{rate:.6f}"])
-    return _write(path, ["N_allowed_missing", "M_span_days", "fail_rate"],
-                  rows)
+    with metrics.span("figures.fig5"):
+        for allowed_missing, series in sorted(
+            fail_rate_curves(evaluations).items()
+        ):
+            for span, rate in series:
+                rows.append([allowed_missing, span, f"{rate:.6f}"])
+        return _write(
+            path, ["N_allowed_missing", "M_span_days", "fail_rate"],
+            rows, metrics=metrics, figure="fig5",
+        )
 
 
 def export_fig6_runner_stats(
-    results: "dict[str, InferenceResult]", path: PathLike
+    results: "dict[str, InferenceResult]",
+    path: PathLike,
+    *,
+    metrics: MetricsRegistry = NULL,
 ) -> str:
     """Fan-out and cache accounting for the Fig. 6 inference runs.
 
@@ -128,6 +163,7 @@ def export_fig6_runner_stats(
         ["run", "jobs", "days_total", "days_from_cache",
          "days_computed", "elapsed_seconds"],
         rows,
+        metrics=metrics, figure="fig6_runner",
     )
 
 
@@ -135,21 +171,25 @@ def export_fig6_series(
     extended: InferenceResult,
     baseline: InferenceResult,
     path: PathLike,
+    *,
+    metrics: MetricsRegistry = NULL,
 ) -> str:
     """Daily delegation counts and addresses, both algorithms."""
-    base_counts = dict(baseline.counts_series())
-    base_addresses = dict(baseline.addresses_series())
-    rows = []
-    for (date, count), (_d, addresses) in zip(
-        extended.counts_series(), extended.addresses_series()
-    ):
-        rows.append([
-            date.isoformat(), count, addresses,
-            base_counts.get(date, ""), base_addresses.get(date, ""),
-        ])
-    return _write(
-        path,
-        ["date", "extended_count", "extended_addresses",
-         "baseline_count", "baseline_addresses"],
-        rows,
-    )
+    with metrics.span("figures.fig6"):
+        base_counts = dict(baseline.counts_series())
+        base_addresses = dict(baseline.addresses_series())
+        rows = []
+        for (date, count), (_d, addresses) in zip(
+            extended.counts_series(), extended.addresses_series()
+        ):
+            rows.append([
+                date.isoformat(), count, addresses,
+                base_counts.get(date, ""), base_addresses.get(date, ""),
+            ])
+        return _write(
+            path,
+            ["date", "extended_count", "extended_addresses",
+             "baseline_count", "baseline_addresses"],
+            rows,
+            metrics=metrics, figure="fig6",
+        )

@@ -25,6 +25,7 @@ from repro.bgp.stream import AnnouncementSource, date_range
 from repro.errors import CollectorDataError
 from repro.netbase.aspath import ASPath
 from repro.netbase.prefix import IPv4Prefix
+from repro.obs.metrics import NULL, MetricsRegistry
 
 _RIB_SUFFIX = ".rib.jsonl"
 _UPDATES_SUFFIX = ".updates.jsonl"
@@ -128,12 +129,18 @@ class ArchiveWindowReader:
         archive_dir: Union[str, pathlib.Path],
         *,
         max_lookahead_days: int = 14,
+        metrics: MetricsRegistry = NULL,
     ):
         self._base = pathlib.Path(archive_dir)
         if not self._base.is_dir():
             raise CollectorDataError(f"no archive at {self._base}")
         self._max_lookahead = max_lookahead_days
+        self._metrics = metrics
         self.fallbacks_used = 0
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route replay accounting into ``metrics`` (no-op default)."""
+        self._metrics = metrics
 
     def collectors(self) -> List[str]:
         return sorted(
@@ -154,6 +161,8 @@ class ArchiveWindowReader:
                 line = line.strip()
                 if line:
                     records.append(RouteRecord.from_json(json.loads(line)))
+        self._metrics.inc("archive.rib_records_read", len(records))
+        self._metrics.inc("archive.rib_files_read")
         return records
 
     def _read_updates(
@@ -227,6 +236,7 @@ class ArchiveWindowReader:
             if updates is None:
                 # The paper's fallback: jump to the next available RIB.
                 self.fallbacks_used += 1
+                self._metrics.inc("archive.fallback_rib_events")
                 replacement = self._next_rib(collector, current - datetime.timedelta(days=1))
                 if replacement is None:
                     raise CollectorDataError(
@@ -243,6 +253,7 @@ class ArchiveWindowReader:
                         date=date,
                     )
                 return
+            announce_count = withdraw_count = 0
             for update in updates:
                 monitor = int(update["monitor"])
                 table = tables.setdefault(
@@ -253,12 +264,20 @@ class ArchiveWindowReader:
                     table.announce(
                         prefix, ASPath.parse(str(update["as_path"]))
                     )
+                    announce_count += 1
                 elif update["type"] == "W":
                     table.withdraw(prefix)
+                    withdraw_count += 1
                 else:
                     raise CollectorDataError(
                         f"unknown update type {update['type']!r}"
                     )
+            self._metrics.inc(
+                "archive.announcements_applied", announce_count
+            )
+            self._metrics.inc(
+                "archive.withdrawals_applied", withdraw_count
+            )
             current += datetime.timedelta(days=1)
         for table in tables.values():
             yield from table.records(date)

@@ -19,6 +19,7 @@ from repro.bgp.message import Announcement, RouteRecord
 from repro.errors import CollectorDataError
 from repro.netbase.asnum import OriginSet
 from repro.netbase.prefix import IPv4Prefix
+from repro.obs.metrics import NULL, MetricsRegistry
 
 #: A function returning the day's announcements (the world's behaviour).
 AnnouncementSource = Callable[[datetime.date], Iterable[Announcement]]
@@ -55,10 +56,20 @@ class RouteStream:
         self._source = source
         self._archive_dir = archive_dir
         self._monitor_count: Optional[int] = None
+        self._metrics: MetricsRegistry = NULL
 
     @property
     def system(self) -> CollectorSystem:
         return self._system
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route record/pair accounting into ``metrics``.
+
+        Off by default (the shared no-op registry): the per-record
+        counting path is only entered when a real registry is
+        attached, so uninstrumented streams read at full speed.
+        """
+        self._metrics = metrics
 
     def monitor_count(self) -> int:
         """Total number of monitors feeding the stream.
@@ -73,12 +84,21 @@ class RouteStream:
     def records_on(self, date: datetime.date) -> Iterator[RouteRecord]:
         """All route records of one day."""
         if self._source is not None:
-            yield from self._system.records_for_day(
+            records = self._system.records_for_day(
                 self._source(date), date
             )
         else:
             assert self._archive_dir is not None
-            yield from CollectorSystem.read_day(self._archive_dir, date)
+            records = CollectorSystem.read_day(self._archive_dir, date)
+        if not self._metrics.enabled:
+            yield from records
+            return
+        count = 0
+        for record in records:
+            count += 1
+            yield record
+        self._metrics.inc("stream.records_read", count)
+        self._metrics.inc("stream.days_read")
 
     def days(
         self,
@@ -100,8 +120,12 @@ class RouteStream:
         aggregate the stored records.
         """
         if self._source is not None:
-            return self._system.pair_counts_for_day(self._source(date))
-        return prefix_origin_pairs(self.records_on(date))
+            pairs = self._system.pair_counts_for_day(self._source(date))
+        else:
+            pairs = prefix_origin_pairs(self.records_on(date))
+        if self._metrics.enabled:
+            self._metrics.inc("stream.pairs_aggregated", len(pairs))
+        return pairs
 
     def pairs_for_days(
         self, dates: Iterable[datetime.date]

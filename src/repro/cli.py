@@ -1,21 +1,33 @@
 """Command-line interface.
 
-Four subcommands cover the library's main entry points::
+The subcommands cover the library's main entry points::
 
     python -m repro generate DIR     # materialize every data feed
     python -m repro infer            # run the delegation pipeline
     python -m repro market           # the market report (Figs. 1-4)
+    python -m repro figures DIR      # every figure's data as CSV
     python -m repro advise 24 3      # buy-or-lease for a /24, 3 years
+    python -m repro manifest m.json  # pretty-print a run manifest
 
 All commands accept ``--seed`` and ``--scale {small,paper}``; output
-is plain text on stdout.
+is plain text on stdout.  ``infer``, ``figures``, and ``market``
+additionally accept ``--metrics-out PATH`` to write a run manifest
+(config hash, input fingerprints, per-stage attrition, cache and
+timing accounting) as one JSON artifact.
+
+Errors deriving from :class:`~repro.errors.ReproError` (bad flags,
+unwritable paths, broken inputs) exit with status 2 and a one-line
+message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import datetime
 import math
+import os
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -29,8 +41,17 @@ from repro.analysis.prices import (
 from repro.analysis.report import render_table
 from repro.analysis.transfers import market_start_dates, transfer_counts
 from repro.delegation import InferenceConfig
+from repro.errors import ReproError
 from repro.market.amortization import AmortizationScenario
 from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
+from repro.obs import (
+    NULL,
+    MetricsRegistry,
+    RunManifest,
+    config_hash,
+    load_manifest,
+    render_manifest,
+)
 from repro.registry.rir import RIR
 from repro.simulation import World, paper_scenario, small_scenario
 
@@ -39,6 +60,130 @@ def _build_world(args: argparse.Namespace) -> World:
     if args.scale == "paper":
         return World(paper_scenario(seed=args.seed))
     return World(small_scenario(seed=args.seed))
+
+
+# -- flag validation ------------------------------------------------------
+
+
+def _check_runner_flags(args: argparse.Namespace) -> None:
+    """Fail fast (one line, no traceback) on unusable runner flags."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ReproError(f"--jobs must be at least 1 (got {jobs})")
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        path = pathlib.Path(cache_dir)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"--cache-dir: cannot create {path}: {exc}"
+            ) from exc
+        if not os.access(path, os.W_OK):
+            raise ReproError(f"--cache-dir: {path} is not writable")
+    _check_metrics_out(args)
+
+
+def _check_metrics_out(args: argparse.Namespace) -> None:
+    target = getattr(args, "metrics_out", None)
+    if target is None:
+        return
+    path = pathlib.Path(target)
+    if path.is_dir():
+        raise ReproError(f"--metrics-out: {path} is a directory")
+    parent = path.parent if str(path.parent) else pathlib.Path(".")
+    if not parent.is_dir():
+        raise ReproError(
+            f"--metrics-out: directory {parent} does not exist"
+        )
+    if not os.access(parent, os.W_OK):
+        raise ReproError(f"--metrics-out: {parent} is not writable")
+
+
+def _registry_for(args: argparse.Namespace) -> MetricsRegistry:
+    """A real registry with ``--metrics-out``, the no-op one without."""
+    if getattr(args, "metrics_out", None) is not None:
+        return MetricsRegistry()
+    return NULL
+
+
+# -- manifest assembly ----------------------------------------------------
+
+
+def _pipeline_stage_table(
+    manifest: RunManifest, metrics: MetricsRegistry
+) -> None:
+    """The §4 filter chain as attrition rows, from pipeline counters.
+
+    Counts are the deterministic per-filter totals both the sequential
+    path and the parallel fan-in record under the same names, so
+    ``--jobs N`` never changes this table.
+    """
+    pairs_seen = metrics.counter("pipeline.pairs_seen")
+    bogon = metrics.counter("pipeline.dropped.bogon")
+    visibility = metrics.counter("pipeline.dropped.visibility")
+    origin = metrics.counter("pipeline.dropped.origin")
+    same_org = metrics.counter("pipeline.dropped.same_org")
+    delegations = metrics.counter("pipeline.delegations")
+    fills = metrics.counter("pipeline.consistency.fills")
+    conflicts = metrics.counter("pipeline.consistency.conflicts")
+    manifest.add_stage(
+        "(i) sanitize", pairs_seen + bogon, pairs_seen,
+        dropped={"bogon_prefix": bogon},
+    )
+    manifest.add_stage(
+        "(ii) visibility", pairs_seen, pairs_seen - visibility,
+        dropped={"below_threshold": visibility},
+    )
+    manifest.add_stage(
+        "(iii) unique-origin", pairs_seen - visibility,
+        pairs_seen - visibility - origin,
+        dropped={"moas_or_as_set": origin},
+    )
+    manifest.add_stage(
+        "(iv) same-org", delegations + same_org, delegations,
+        dropped={"same_org": same_org},
+    )
+    manifest.add_stage(
+        "(v) consistency", delegations, delegations + fills,
+        dropped={"conflicting_gaps": conflicts},
+        seconds=(
+            metrics.timer("runner.consistency").total_seconds
+            or metrics.timer("pipeline.consistency").total_seconds
+            or None
+        ),
+    )
+
+
+def _write_infer_manifest(
+    args: argparse.Namespace,
+    command: str,
+    config: InferenceConfig,
+    factory,
+    world: World,
+    results,
+    metrics: MetricsRegistry,
+) -> None:
+    manifest = RunManifest(
+        command=command,
+        config=dataclasses.asdict(config),
+        config_digest=config_hash(config),
+        metrics=metrics,
+    )
+    manifest.add_input("stream", factory.fingerprint())
+    if config.same_org_filter:
+        manifest.add_input("as2org", world.as2org().fingerprint())
+    _pipeline_stage_table(manifest, metrics)
+    hits = misses = 0
+    for result in results:
+        stats = result.runner_stats
+        if stats is not None:
+            hits += stats.days_from_cache
+            misses += stats.days_computed
+    manifest.cache = {"hits": hits, "misses": misses}
+    manifest.extra["scale"] = args.scale
+    manifest.extra["seed"] = args.seed
+    manifest.write(args.metrics_out)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -58,6 +203,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_infer(args: argparse.Namespace) -> int:
     from repro.delegation import WorldStreamFactory, run_inference
 
+    _check_runner_flags(args)
     world = _build_world(args)
     config = (
         InferenceConfig.baseline()
@@ -65,8 +211,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         else InferenceConfig.extended()
     )
     as2org = world.as2org() if config.same_org_filter else None
+    metrics = _registry_for(args)
+    factory = WorldStreamFactory(world.config)
     result = run_inference(
-        WorldStreamFactory(world.config),
+        factory,
         world.config.bgp_start,
         world.config.bgp_end,
         config,
@@ -74,7 +222,12 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         step_days=args.step_days,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        metrics=metrics,
     )
+    if metrics.enabled:
+        _write_infer_manifest(
+            args, "infer", config, factory, world, [result], metrics
+        )
     rows = [
         [date, count, result.daily.addresses_on(date)]
         for date, count in result.counts_series()
@@ -93,18 +246,37 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_market(args: argparse.Namespace) -> int:
+    _check_metrics_out(args)
     world = _build_world(args)
-    dataset = world.priced_transactions()
-    mean_2020 = mean_price_per_ip(
-        dataset, datetime.date(2020, 1, 1), datetime.date(2020, 6, 25)
-    )
-    _h, p_value = regional_price_difference(dataset)
-    quarter = consolidation_quarter(dataset)
-    starts = market_start_dates(world.transfer_ledger())
-    counts = transfer_counts(world.transfer_ledger())
-    leasing = summarize_leasing_prices(
-        world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE
-    )
+    metrics = _registry_for(args)
+    with metrics.span("market.prices"):
+        dataset = world.priced_transactions()
+        mean_2020 = mean_price_per_ip(
+            dataset, datetime.date(2020, 1, 1), datetime.date(2020, 6, 25)
+        )
+        _h, p_value = regional_price_difference(dataset)
+        quarter = consolidation_quarter(dataset)
+    with metrics.span("market.transfers"):
+        starts = market_start_dates(world.transfer_ledger())
+        counts = transfer_counts(world.transfer_ledger())
+    with metrics.span("market.leasing"):
+        leasing = summarize_leasing_prices(
+            world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE
+        )
+    if metrics.enabled:
+        metrics.inc("market.priced_transactions", len(dataset))
+        metrics.inc("market.leasing_providers", leasing.provider_count)
+        manifest = RunManifest(
+            command="market",
+            config_digest=config_hash(world.config),
+            metrics=metrics,
+        )
+        manifest.add_stage(
+            "priced transactions", len(dataset), len(dataset)
+        )
+        manifest.extra["scale"] = args.scale
+        manifest.extra["seed"] = args.seed
+        manifest.write(args.metrics_out)
     rows = [
         ["priced transactions", len(dataset)],
         ["mean 2020 price ($/IP)", f"{mean_2020:.2f}"],
@@ -171,8 +343,6 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    import pathlib
-
     from repro.analysis.fig_data import (
         export_fig1_prices,
         export_fig2_transfers,
@@ -187,46 +357,84 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         run_inference,
     )
 
+    _check_runner_flags(args)
     world = _build_world(args)
+    metrics = _registry_for(args)
     base = pathlib.Path(args.directory)
     written = [
-        export_fig1_prices(world.priced_transactions(), base / "fig1.csv"),
-        export_fig2_transfers(world.transfer_ledger(), base / "fig2.csv"),
+        export_fig1_prices(
+            world.priced_transactions(), base / "fig1.csv",
+            metrics=metrics,
+        ),
+        export_fig2_transfers(
+            world.transfer_ledger(), base / "fig2.csv", metrics=metrics
+        ),
         export_fig4_leasing(
             world.scrape_log(), FIRST_SCRAPE, SECOND_WAVE,
-            base / "fig4.csv",
+            base / "fig4.csv", metrics=metrics,
         ),
         export_fig5_rules(
             evaluate_rules_on_rpki(
                 world.rpki(), (2, 5, 10, 20, 30, 50, 70, 90), (0, 1, 2, 3),
                 jobs=args.jobs or 0,
             ),
-            base / "fig5.csv",
+            base / "fig5.csv", metrics=metrics,
         ),
     ]
+    results = []
     if not args.skip_fig6:
         factory = WorldStreamFactory(world.config)
         extended = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.extended(), as2org=world.as2org(),
-            jobs=args.jobs, cache_dir=args.cache_dir,
+            jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
         )
         baseline = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.baseline(),
-            jobs=args.jobs, cache_dir=args.cache_dir,
+            jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
         )
+        results = [extended, baseline]
         written.append(
-            export_fig6_series(extended, baseline, base / "fig6.csv")
+            export_fig6_series(
+                extended, baseline, base / "fig6.csv", metrics=metrics
+            )
         )
         written.append(
             export_fig6_runner_stats(
                 {"extended": extended, "baseline": baseline},
-                base / "fig6_runner.csv",
+                base / "fig6_runner.csv", metrics=metrics,
             )
         )
+    if metrics.enabled:
+        # One registry audits the whole export: the pipeline counters
+        # sum the extended and baseline inference runs.
+        manifest = RunManifest(
+            command="figures",
+            config_digest=config_hash(world.config),
+            metrics=metrics,
+        )
+        manifest.add_input(
+            "stream", WorldStreamFactory(world.config).fingerprint()
+        )
+        hits = misses = 0
+        for result in results:
+            stats = result.runner_stats
+            if stats is not None:
+                hits += stats.days_from_cache
+                misses += stats.days_computed
+        manifest.cache = {"hits": hits, "misses": misses}
+        manifest.extra["scale"] = args.scale
+        manifest.extra["seed"] = args.seed
+        manifest.extra["files_written"] = written
+        manifest.write(args.metrics_out)
     for path in written:
         print(path)
+    return 0
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    print(render_manifest(load_manifest(args.path)))
     return 0
 
 
@@ -240,6 +448,16 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="cache per-day inference results under DIR; re-runs with "
              "an unchanged configuration become near-instant",
+    )
+    _add_metrics_argument(parser)
+
+
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a run manifest (config hash, input fingerprints, "
+             "per-stage attrition, cache and timing accounting) as "
+             "JSON to PATH; inspect it with `repro manifest PATH`",
     )
 
 
@@ -279,7 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     infer.set_defaults(handler=_cmd_infer)
 
     market = commands.add_parser("market", help="print the market report")
+    _add_metrics_argument(market)
     market.set_defaults(handler=_cmd_market)
+
+    manifest = commands.add_parser(
+        "manifest", help="pretty-print a --metrics-out run manifest"
+    )
+    manifest.add_argument("path")
+    manifest.set_defaults(handler=_cmd_manifest)
 
     figures = commands.add_parser(
         "figures", help="export every figure's data series as CSV"
@@ -303,7 +528,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed stdout (e.g. `repro market | head`): die
+        # quietly like a well-behaved filter. Point stdout at devnull
+        # so interpreter shutdown doesn't raise while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+    except OSError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

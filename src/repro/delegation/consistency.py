@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.delegation.model import DailyDelegations, DelegationKey
+from repro.obs.metrics import NULL, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,8 @@ def fill_gaps(
     daily: DailyDelegations,
     rule: ConsistencyRule,
     observation_dates: Sequence[datetime.date],
+    *,
+    metrics: MetricsRegistry = NULL,
 ) -> DailyDelegations:
     """Apply extension (v): fill on-off gaps up to M days.
 
@@ -134,12 +137,19 @@ def fill_gaps(
     Only days present in ``observation_dates`` are filled: the rule
     reconstructs what measurement gaps hid, it does not invent data for
     days nobody measured.
+
+    ``metrics`` receives ``pipeline.consistency.fills`` (key-days
+    added) and ``pipeline.consistency.conflicts`` (gaps left open
+    because of a rival delegation); both are deterministic functions
+    of the input, so parallel and sequential runs report the same.
     """
     sorted_dates = sorted(observation_dates)
     date_index = {date: i for i, date in enumerate(sorted_dates)}
     timelines = daily.timeline()
     conflicts = _conflict_days_by_prefix(timelines)
     filled = daily.copy()
+    fill_count = 0
+    conflict_count = 0
     for key, dates in timelines.items():
         prefix, _delegator, delegatee = key
         rivals = conflicts.get(prefix)
@@ -160,7 +170,11 @@ def fill_gaps(
                     for other, days in rivals.items()
                 )
                 if conflicted:
+                    conflict_count += 1
                     continue
             for day in between:
                 filled.record(day, [key])
+            fill_count += len(between)
+    metrics.inc("pipeline.consistency.fills", fill_count)
+    metrics.inc("pipeline.consistency.conflicts", conflict_count)
     return filled

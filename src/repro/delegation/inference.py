@@ -38,8 +38,37 @@ from repro.delegation.model import (
 from repro.errors import ReproError
 from repro.netbase.prefix import IPv4Prefix
 from repro.netbase.trie import PrefixTrie
+from repro.obs.metrics import NULL, MetricsRegistry
 
 logger = logging.getLogger(__name__)
+
+
+def record_pipeline_counters(
+    metrics: MetricsRegistry,
+    result: "InferenceResult",
+    delegations_total: int,
+) -> None:
+    """Bulk-record the pipeline's per-filter attrition into ``metrics``.
+
+    Shared by the sequential :meth:`DelegationInference.infer_range`
+    and the parallel :func:`repro.delegation.runner.run_inference`
+    fan-in, so both report identical counts under identical names —
+    the counters feed the run manifest's stage table.  Recording
+    happens once per run (not per pair), so the hot per-day loops pay
+    nothing for the instrumentation.
+    """
+    metrics.inc("pipeline.pairs_seen", result.pairs_seen)
+    metrics.inc(
+        "pipeline.dropped.bogon", result.sanitize_stats.bogon_prefix
+    )
+    metrics.inc(
+        "pipeline.dropped.visibility", result.pairs_dropped_visibility
+    )
+    metrics.inc("pipeline.dropped.origin", result.pairs_dropped_origin)
+    metrics.inc(
+        "pipeline.dropped.same_org", result.delegations_dropped_same_org
+    )
+    metrics.inc("pipeline.delegations", delegations_total)
 
 
 @dataclass(frozen=True)
@@ -261,11 +290,15 @@ class DelegationInference:
         start: datetime.date,
         end: datetime.date,
         step_days: int = 1,
+        *,
+        metrics: MetricsRegistry = NULL,
     ) -> InferenceResult:
         """Run the full pipeline over ``[start, end)``.
 
         Step (v) — consistency-rule gap filling — runs after the per-day
-        passes, over the whole window.
+        passes, over the whole window.  ``metrics`` (when not the no-op
+        default) receives per-day timings plus the per-filter attrition
+        counters the run manifest reports.
         """
         from repro.bgp.stream import date_range
 
@@ -273,12 +306,15 @@ class DelegationInference:
             daily=DailyDelegations(), config=self._config
         )
         total_monitors = stream.monitor_count()
+        delegations_total = 0
         for date in date_range(start, end, step_days):
             result.observation_dates.append(date)
-            delegations = self.infer_day_from_pairs(
-                stream.pairs_on(date), total_monitors, date, result
-            )
-            result.daily.record(date, (d.key() for d in delegations))
+            with metrics.span("pipeline.day"):
+                delegations = self.infer_day_from_pairs(
+                    stream.pairs_on(date), total_monitors, date, result
+                )
+                result.daily.record(date, (d.key() for d in delegations))
+            delegations_total += len(delegations)
             if len(result.observation_dates) % 100 == 0:
                 logger.debug(
                     "inference at %s: %d delegations",
@@ -289,9 +325,12 @@ class DelegationInference:
             len(result.observation_dates), result.pairs_seen,
         )
         if self._config.consistency_rule is not None:
-            result.daily = fill_gaps(
-                result.daily,
-                self._config.consistency_rule,
-                result.observation_dates,
-            )
+            with metrics.span("pipeline.consistency"):
+                result.daily = fill_gaps(
+                    result.daily,
+                    self._config.consistency_rule,
+                    result.observation_dates,
+                    metrics=metrics,
+                )
+        record_pipeline_counters(metrics, result, delegations_total)
         return result

@@ -42,7 +42,7 @@ import os
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.asorg.as2org import As2OrgDataset
 from repro.bgp.stream import RouteStream, date_range
@@ -51,10 +51,12 @@ from repro.delegation.inference import (
     DelegationInference,
     InferenceConfig,
     InferenceResult,
+    record_pipeline_counters,
 )
 from repro.delegation.io import key_from_json, key_to_json
 from repro.delegation.model import DailyDelegations
 from repro.errors import ReproError
+from repro.obs.metrics import NULL, MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -255,21 +257,32 @@ def _init_worker(
     factory: StreamFactory,
     config: InferenceConfig,
     as2org: Optional[As2OrgDataset],
+    instrument: bool = False,
 ) -> None:
     """Pool initializer: runs once per worker process.
 
     The factory and the (potentially large) as2org dataset are
     transferred exactly once here; the stream itself is built lazily on
-    the first chunk so that pool start-up stays cheap.
+    the first chunk so that pool start-up stays cheap.  When
+    ``instrument`` is set, each chunk records into a fresh
+    :class:`MetricsRegistry` that is shipped back with its payloads
+    and merged in the parent (registries are picklable by design).
     """
     _WORKER_STATE.clear()
     _WORKER_STATE["factory"] = factory
     _WORKER_STATE["config"] = config
     _WORKER_STATE["as2org"] = as2org
+    _WORKER_STATE["instrument"] = instrument
 
 
-def _worker_run_chunk(dates: Sequence[datetime.date]) -> List[dict]:
-    """Execute steps (i)–(iv) for one shard of days."""
+def _worker_run_chunk(
+    dates: Sequence[datetime.date],
+) -> Tuple[List[dict], Optional[MetricsRegistry]]:
+    """Execute steps (i)–(iv) for one shard of days.
+
+    Returns the per-day payloads plus the shard's metrics registry
+    (``None`` when the run is uninstrumented).
+    """
     stream = _WORKER_STATE.get("stream")
     if stream is None:
         stream = _WORKER_STATE["factory"]()
@@ -280,10 +293,25 @@ def _worker_run_chunk(dates: Sequence[datetime.date]) -> List[dict]:
         _WORKER_STATE["total_monitors"] = stream.monitor_count()
     inference = _WORKER_STATE["inference"]
     total_monitors = _WORKER_STATE["total_monitors"]
-    return [
-        _compute_day_payload(stream, inference, total_monitors, date)
-        for date in dates
-    ]
+    if not _WORKER_STATE.get("instrument"):
+        return [
+            _compute_day_payload(stream, inference, total_monitors, date)
+            for date in dates
+        ], None
+    registry = MetricsRegistry()
+    if hasattr(stream, "set_metrics"):
+        stream.set_metrics(registry)
+    payloads = []
+    for date in dates:
+        started = time.perf_counter()
+        payloads.append(
+            _compute_day_payload(stream, inference, total_monitors, date)
+        )
+        registry.observe(
+            "runner.compute.day", time.perf_counter() - started
+        )
+    registry.inc("runner.chunks")
+    return payloads, registry
 
 
 # -- parent side ----------------------------------------------------------
@@ -303,6 +331,7 @@ def run_inference(
     step_days: int = 1,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    metrics: MetricsRegistry = NULL,
 ) -> InferenceResult:
     """Run the full pipeline over ``[start, end)``, in parallel.
 
@@ -311,6 +340,13 @@ def run_inference(
     with ``jobs > 1`` it must be picklable, and with ``cache_dir`` set
     it must additionally expose a ``fingerprint()`` identifying the
     input data.  ``jobs=None`` uses ``os.cpu_count()``.
+
+    ``metrics`` (when not the no-op default) receives nested stage
+    spans (``runner.cache_probe`` / ``runner.compute`` /
+    ``runner.fan_in`` / ``runner.consistency``), cache hit/miss
+    counters, per-day compute timings (fanned back in from the worker
+    registries), and the per-filter attrition counters shared with the
+    sequential path.
 
     Returns an :class:`InferenceResult` byte-identical (in its
     ``daily`` delegations) to the sequential
@@ -342,41 +378,53 @@ def run_inference(
             assert as2org is not None
             as2org_fp = as2org.fingerprint()
 
+    metrics.inc("runner.days_total", len(dates))
+    metrics.set_gauge("runner.jobs", resolved_jobs)
+
     # Phase 1: resolve cache hits.
     payload_by_date: Dict[datetime.date, dict] = {}
     missing: List[datetime.date] = []
     if cache_base is not None:
-        for date in dates:
-            key = _cache_key(config, date, input_fp, as2org_fp)
-            payload = _cache_read(_cache_path(cache_base, key))
-            if payload is None:
-                missing.append(date)
-            else:
-                payload_by_date[date] = payload
+        with metrics.span("runner.cache_probe"):
+            for date in dates:
+                key = _cache_key(config, date, input_fp, as2org_fp)
+                payload = _cache_read(_cache_path(cache_base, key))
+                if payload is None:
+                    missing.append(date)
+                else:
+                    payload_by_date[date] = payload
+        metrics.inc("runner.cache.hits", len(dates) - len(missing))
+        metrics.inc("runner.cache.misses", len(missing))
     else:
         missing = list(dates)
 
     # Phase 2: compute the misses — fanned out or in-process.
     computed: List[dict] = []
-    if missing:
-        if resolved_jobs > 1 and len(missing) > 1:
-            computed = _compute_parallel(
-                stream_factory, config, as2org, missing, resolved_jobs
-            )
-        else:
-            stream = stream_factory()
-            inference = DelegationInference(config, as2org)
-            total_monitors = stream.monitor_count()
-            computed = [
-                _compute_day_payload(stream, inference, total_monitors, date)
-                for date in missing
-            ]
-    for payload in computed:
-        date = datetime.date.fromisoformat(payload["date"])
-        payload_by_date[date] = payload
-        if cache_base is not None:
-            key = _cache_key(config, date, input_fp, as2org_fp)
-            _cache_write(_cache_path(cache_base, key), payload)
+    with metrics.span("runner.compute"):
+        if missing:
+            if resolved_jobs > 1 and len(missing) > 1:
+                computed = _compute_parallel(
+                    stream_factory, config, as2org, missing,
+                    resolved_jobs, metrics,
+                )
+            else:
+                stream = stream_factory()
+                if metrics.enabled and hasattr(stream, "set_metrics"):
+                    stream.set_metrics(metrics)
+                inference = DelegationInference(config, as2org)
+                total_monitors = stream.monitor_count()
+                for date in missing:
+                    with metrics.span("day"):
+                        computed.append(_compute_day_payload(
+                            stream, inference, total_monitors, date
+                        ))
+    with metrics.span("runner.cache_write"):
+        for payload in computed:
+            date = datetime.date.fromisoformat(payload["date"])
+            payload_by_date[date] = payload
+            if cache_base is not None:
+                key = _cache_key(config, date, input_fp, as2org_fp)
+                _cache_write(_cache_path(cache_base, key), payload)
 
     # Phase 3: fan-in, in date order, then extension (v) exactly once.
     # Consecutive days share almost all delegations, so prefixes are
@@ -393,30 +441,36 @@ def run_inference(
         return (prefix, delegator, delegatee)
 
     result = InferenceResult(daily=DailyDelegations(), config=config)
-    for date in dates:
-        payload = payload_by_date[date]
-        result.observation_dates.append(date)
-        counters = payload.get("counters", {})
-        result.pairs_seen += counters.get("pairs_seen", 0)
-        result.pairs_dropped_visibility += counters.get(
-            "pairs_dropped_visibility", 0
-        )
-        result.pairs_dropped_origin += counters.get(
-            "pairs_dropped_origin", 0
-        )
-        result.delegations_dropped_same_org += counters.get(
-            "delegations_dropped_same_org", 0
-        )
-        result.sanitize_stats.bogon_prefix += counters.get(
-            "bogon_prefix", 0
-        )
-        result.daily.record(
-            date, (_decode(raw) for raw in payload["delegations"])
-        )
+    delegations_total = 0
+    with metrics.span("runner.fan_in"):
+        for date in dates:
+            payload = payload_by_date[date]
+            result.observation_dates.append(date)
+            counters = payload.get("counters", {})
+            result.pairs_seen += counters.get("pairs_seen", 0)
+            result.pairs_dropped_visibility += counters.get(
+                "pairs_dropped_visibility", 0
+            )
+            result.pairs_dropped_origin += counters.get(
+                "pairs_dropped_origin", 0
+            )
+            result.delegations_dropped_same_org += counters.get(
+                "delegations_dropped_same_org", 0
+            )
+            result.sanitize_stats.bogon_prefix += counters.get(
+                "bogon_prefix", 0
+            )
+            delegations_total += len(payload["delegations"])
+            result.daily.record(
+                date, (_decode(raw) for raw in payload["delegations"])
+            )
     if config.consistency_rule is not None:
-        result.daily = fill_gaps(
-            result.daily, config.consistency_rule, result.observation_dates
-        )
+        with metrics.span("runner.consistency"):
+            result.daily = fill_gaps(
+                result.daily, config.consistency_rule,
+                result.observation_dates, metrics=metrics,
+            )
+    record_pipeline_counters(metrics, result, delegations_total)
 
     result.runner_stats = RunnerStats(
         jobs=resolved_jobs,
@@ -426,6 +480,7 @@ def run_inference(
         elapsed_seconds=time.perf_counter() - began,
         cache_dir=str(cache_base) if cache_base is not None else None,
     )
+    metrics.observe("runner", result.runner_stats.elapsed_seconds)
     logger.info(
         "runner: %d days (%d cached, %d computed) with %d jobs in %.2fs",
         len(dates), len(dates) - len(missing), len(missing),
@@ -440,8 +495,14 @@ def _compute_parallel(
     as2org: Optional[As2OrgDataset],
     missing: Sequence[datetime.date],
     jobs: int,
+    metrics: MetricsRegistry = NULL,
 ) -> List[dict]:
-    """Fan the missing days out over a process pool."""
+    """Fan the missing days out over a process pool.
+
+    With an enabled ``metrics`` registry, every worker chunk returns
+    its own registry alongside its payloads; they are merged here, so
+    per-day timings and stream counters survive the fan-in.
+    """
     workers = min(jobs, len(missing))
     chunk_size = max(
         1, -(-len(missing) // (workers * _CHUNKS_PER_WORKER))
@@ -451,7 +512,7 @@ def _compute_parallel(
     executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(stream_factory, config, as2org),
+        initargs=(stream_factory, config, as2org, metrics.enabled),
     )
     try:
         futures = [
@@ -459,7 +520,7 @@ def _compute_parallel(
         ]
         for future in futures:
             try:
-                payloads.extend(future.result())
+                chunk_payloads, worker_registry = future.result()
             except ReproError:
                 raise
             except Exception as exc:
@@ -467,6 +528,10 @@ def _compute_parallel(
                     "delegation-inference worker failed: "
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
+            payloads.extend(chunk_payloads)
+            if worker_registry is not None:
+                metrics.merge(worker_registry)
+                metrics.inc("runner.worker_registries_merged")
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
     return payloads

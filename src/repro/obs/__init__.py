@@ -1,0 +1,40 @@
+"""Pipeline observability: metrics, stage spans, and run manifests.
+
+- :mod:`~repro.obs.metrics` — picklable, mergeable
+  :class:`MetricsRegistry` (counters / gauges / timers), nestable
+  stage :class:`Span` timings, and the shared no-op :data:`NULL`
+  registry every instrumented path defaults to,
+- :mod:`~repro.obs.manifest` — the :class:`RunManifest` JSON artifact
+  (config hash, input fingerprints, per-stage attrition, cache
+  accounting, timings) plus its loader and pretty-printer.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    StageRecord,
+    config_hash,
+    load_manifest,
+    render_manifest,
+)
+from repro.obs.metrics import (
+    NULL,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+    TimerStats,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL",
+    "NullRegistry",
+    "RunManifest",
+    "Span",
+    "StageRecord",
+    "TimerStats",
+    "config_hash",
+    "load_manifest",
+    "render_manifest",
+]

@@ -1,0 +1,258 @@
+"""Zero-dependency metrics: counters, gauges, timers, stage spans.
+
+The measurement pipeline fans out across processes (see
+:mod:`repro.delegation.runner`), so the central type here — the
+:class:`MetricsRegistry` — is **picklable** and **mergeable**: every
+worker records into its own registry, ships it back with its results,
+and the parent folds them together with :meth:`MetricsRegistry.merge`.
+
+Merging is associative and commutative (counters and timer statistics
+add, gauges keep the maximum), so the merged view is independent of
+worker scheduling: merging N worker registries in any order equals one
+registry that saw every observation sequentially.  The property tests
+in ``tests/obs/test_metrics_properties.py`` pin this down.
+
+Instrumented code paths default to the module-level :data:`NULL`
+registry, whose methods do nothing: a run that never asks for metrics
+pays (almost) nothing and produces byte-identical output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class TimerStats:
+    """Aggregated observations of one named timer."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def merge(self, other: "TimerStats") -> None:
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": (
+                self.min_seconds if self.count else 0.0
+            ),
+            "max_seconds": self.max_seconds,
+        }
+
+
+class Span:
+    """A wall-clock stage timing, nestable via the owning registry.
+
+    Entering pushes the span's name onto the registry's stack, so a
+    span opened inside another records under the dotted path of its
+    ancestors (``runner.compute`` inside ``runner``).  Exiting records
+    one observation into the registry's timer of that full name.
+    """
+
+    __slots__ = ("_registry", "_name", "_full_name", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._full_name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack
+        self._full_name = (
+            f"{stack[-1]}.{self._name}" if stack else self._name
+        )
+        stack.append(self._full_name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._started
+        stack = self._registry._span_stack
+        if stack and stack[-1] == self._full_name:
+            stack.pop()
+        self._registry.observe(self._full_name, elapsed)
+
+
+class _NullSpan:
+    """Reusable do-nothing span for the :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class MetricsRegistry:
+    """Counters, gauges, and timers under dotted string names.
+
+    Plain-dict state keeps the registry picklable; the span stack is
+    process-local bookkeeping and is dropped on pickling (a registry
+    should never cross processes with spans still open).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStats] = {}
+        self._span_stack: List[str] = []
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time level; merges keep the maximum."""
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timing observation into timer ``name``."""
+        stats = self._timers.get(name)
+        if stats is None:
+            stats = self._timers[name] = TimerStats()
+        stats.observe(seconds)
+
+    def span(self, name: str) -> Span:
+        """Context manager timing a pipeline stage; spans nest."""
+        return Span(self, name)
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def timer(self, name: str) -> TimerStats:
+        return self._timers.get(name, TimerStats())
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def timers(self) -> Dict[str, TimerStats]:
+        return dict(self._timers)
+
+    def names(self) -> Iterator[str]:
+        yield from sorted(
+            set(self._counters) | set(self._gauges) | set(self._timers)
+        )
+
+    # -- merging / serialization ---------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry; returns ``self``.
+
+        Counters add, gauges keep the maximum, timer statistics
+        combine, so merging is associative and commutative with the
+        empty registry as identity.
+        """
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in other._gauges.items():
+            self.set_gauge(name, value)
+        for name, stats in other._timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                mine = self._timers[name] = TimerStats()
+            mine.merge(stats)
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: stats.to_json()
+                for name, stats in sorted(self._timers.items())
+            },
+        }
+
+    def __getstate__(self) -> dict:
+        return {
+            "counters": self._counters,
+            "gauges": self._gauges,
+            "timers": self._timers,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._counters = state["counters"]
+        self._gauges = state["gauges"]
+        self._timers = state["timers"]
+        self._span_stack = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._timers)} timers>"
+        )
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing.
+
+    Every instrumented code path defaults to :data:`NULL`, so the
+    uninstrumented pipeline's only cost is a method call that returns
+    immediately — no dict writes, no timing syscalls.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def merge(self, other: MetricsRegistry) -> "NullRegistry":
+        return self
+
+    def __repr__(self) -> str:
+        return "<NullRegistry>"
+
+
+#: Shared no-op registry; the default everywhere instrumentation hooks in.
+NULL = NullRegistry()

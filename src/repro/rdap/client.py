@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from repro.errors import RdapError, RdapNotFoundError, RdapRateLimitError
 from repro.netbase.prefix import IPv4Prefix
+from repro.obs.metrics import NULL, MetricsRegistry
 from repro.rdap.server import RdapServer
 
 logger = logging.getLogger(__name__)
@@ -49,6 +50,10 @@ class RdapClient:
         Retries after throttling before giving up.
     backoff_seconds:
         Initial backoff, doubled per retry.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; receives
+        ``rdap.queries`` / ``rdap.throttles`` / ``rdap.retries`` /
+        ``rdap.not_found`` alongside the instance counters.
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class RdapClient:
         max_retries: int = 5,
         backoff_seconds: float = 0.5,
         clock: Optional[VirtualClock] = None,
+        metrics: MetricsRegistry = NULL,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
@@ -69,9 +75,14 @@ class RdapClient:
         self._max_retries = max_retries
         self._backoff = backoff_seconds
         self._clock = clock or VirtualClock()
+        self._metrics = metrics
         self.queries_sent = 0
         self.throttle_events = 0
         self.not_found_count = 0
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route query accounting into ``metrics`` (no-op default)."""
+        self._metrics = metrics
 
     @property
     def clock(self) -> VirtualClock:
@@ -87,6 +98,9 @@ class RdapClient:
         for attempt in range(self._max_retries + 1):
             self._clock.sleep(self._pace)
             self.queries_sent += 1
+            self._metrics.inc("rdap.queries")
+            if attempt > 0:
+                self._metrics.inc("rdap.retries")
             try:
                 return self._server.lookup_ip(
                     prefix,
@@ -95,9 +109,11 @@ class RdapClient:
                 )
             except RdapNotFoundError:
                 self.not_found_count += 1
+                self._metrics.inc("rdap.not_found")
                 return None
             except RdapRateLimitError:
                 self.throttle_events += 1
+                self._metrics.inc("rdap.throttles")
                 logger.warning(
                     "throttled querying %s (attempt %d/%d); backing "
                     "off %.2fs", prefix, attempt + 1,
@@ -107,6 +123,7 @@ class RdapClient:
                     break
                 self._clock.sleep(backoff)
                 backoff *= 2.0
+        self._metrics.inc("rdap.gave_up")
         raise RdapError(
             f"gave up on {prefix} after {self._max_retries} retries"
         )

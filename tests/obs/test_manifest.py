@@ -1,0 +1,149 @@
+"""Tests for run-manifest writing, loading, and rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    MetricsRegistry,
+    RunManifest,
+    config_hash,
+    load_manifest,
+    render_manifest,
+)
+
+
+def _sample_manifest() -> RunManifest:
+    metrics = MetricsRegistry()
+    metrics.inc("pipeline.pairs_seen", 100)
+    metrics.observe("runner.compute.day", 0.25)
+    metrics.set_gauge("runner.jobs", 2)
+    manifest = RunManifest(
+        command="infer",
+        config={"visibility_threshold": 10},
+        config_digest="ab" * 32,
+        metrics=metrics,
+        created="2020-06-25T00:00:00+00:00",
+    )
+    manifest.add_input("stream", "cd" * 32)
+    manifest.add_stage(
+        "(ii) visibility", 100, 98,
+        dropped={"below_threshold": 2},
+    )
+    manifest.add_stage("(v) consistency", 98, 99, seconds=0.125)
+    manifest.cache = {"hits": 3, "misses": 7}
+    manifest.extra["scale"] = "small"
+    return manifest
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        _sample_manifest().write(path)
+        payload = load_manifest(path)
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["command"] == "infer"
+        assert payload["created"] == "2020-06-25T00:00:00+00:00"
+        assert payload["config"] == {"visibility_threshold": 10}
+        assert payload["inputs"] == {"stream": "cd" * 32}
+        assert payload["cache"] == {"hits": 3, "misses": 7}
+        assert payload["extra"]["scale"] == "small"
+        assert payload["metrics"]["counters"]["pipeline.pairs_seen"] == 100
+
+    def test_stage_serialization(self, tmp_path):
+        path = tmp_path / "m.json"
+        _sample_manifest().write(path)
+        stages = load_manifest(path)["stages"]
+        assert [s["name"] for s in stages] == [
+            "(ii) visibility", "(v) consistency",
+        ]
+        assert stages[0]["records_in"] == 100
+        assert stages[0]["records_out"] == 98
+        assert stages[0]["dropped"] == {"below_threshold": 2}
+        assert "seconds" not in stages[0]  # omitted when unknown
+        assert stages[1]["seconds"] == 0.125
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "m.json"
+        _sample_manifest().write(path)
+        assert path.exists()
+
+    def test_created_defaults_to_now(self, tmp_path):
+        manifest = RunManifest(command="market")
+        path = tmp_path / "m.json"
+        manifest.write(path)
+        assert load_manifest(path)["created"]  # some ISO timestamp
+
+    def test_file_ends_with_newline(self, tmp_path):
+        path = tmp_path / "m.json"
+        _sample_manifest().write(path)
+        assert path.read_text(encoding="utf-8").endswith("}\n")
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="no manifest"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DatasetError, match="unreadable manifest"):
+            load_manifest(path)
+
+    def test_not_a_manifest(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"foo": 1}), encoding="utf-8")
+        with pytest.raises(DatasetError, match="not a run manifest"):
+            load_manifest(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 999}), encoding="utf-8")
+        with pytest.raises(DatasetError, match="unsupported manifest"):
+            load_manifest(path)
+
+
+class TestRender:
+    def test_render_contains_all_sections(self, tmp_path):
+        path = tmp_path / "m.json"
+        _sample_manifest().write(path)
+        text = render_manifest(load_manifest(path))
+        assert "run manifest: infer" in text
+        assert "config hash: abababababababab" in text
+        assert "input stream:" in text
+        assert "cache: 3 hits, 7 misses (30% hit rate)" in text
+        assert "per-stage attrition" in text
+        assert "(ii) visibility" in text
+        assert "below_threshold=2" in text
+        assert "timers" in text
+        assert "runner.compute.day" in text
+        assert "counters" in text
+        assert "pipeline.pairs_seen" in text
+        assert "gauges" in text
+        assert "runner.jobs" in text
+
+    def test_render_minimal_manifest(self, tmp_path):
+        path = tmp_path / "m.json"
+        RunManifest(command="market").write(path)
+        text = render_manifest(load_manifest(path))
+        assert "run manifest: market" in text
+        # No empty-section tables for an all-defaults manifest.
+        assert "per-stage attrition" not in text
+        assert "timers" not in text
+
+
+class TestConfigHash:
+    def test_deterministic_and_sensitive(self):
+        from repro.delegation import InferenceConfig
+
+        extended = InferenceConfig.extended()
+        assert config_hash(extended) == config_hash(
+            InferenceConfig.extended()
+        )
+        assert config_hash(extended) != config_hash(
+            InferenceConfig.baseline()
+        )
+        assert len(config_hash(extended)) == 64

@@ -1,0 +1,105 @@
+"""Property-based tests for ``MetricsRegistry.merge``.
+
+The runner's correctness story depends on merge algebra: worker
+registries fan back into the parent in whatever order the pool
+finishes chunks, so the merged result must not depend on grouping or
+order — and merging N worker registries must equal one registry that
+saw every observation sequentially.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+
+_NAMES = st.sampled_from(["a", "b", "c.d", "runner.day"])
+
+#: One recorded event: (kind, metric name, value).
+_EVENTS = st.one_of(
+    st.tuples(st.just("inc"), _NAMES,
+              st.integers(min_value=0, max_value=1000)),
+    st.tuples(st.just("gauge"), _NAMES,
+              st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("observe"), _NAMES,
+              st.floats(min_value=0.0, max_value=1e3,
+                        allow_nan=False, allow_infinity=False)),
+)
+
+
+def _apply(registry: MetricsRegistry, events) -> MetricsRegistry:
+    for kind, name, value in events:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            registry.set_gauge(name, value)
+        else:
+            registry.observe(name, value)
+    return registry
+
+
+def _registry(events) -> MetricsRegistry:
+    return _apply(MetricsRegistry(), events)
+
+
+def _canon(registry: MetricsRegistry) -> dict:
+    """Comparable snapshot with float-tolerant timer totals."""
+    payload = registry.to_json()
+    for stats in payload["timers"].values():
+        for key in ("total_seconds", "min_seconds", "max_seconds"):
+            stats[key] = round(stats[key], 6)
+    payload["gauges"] = {
+        name: round(value, 6)
+        for name, value in payload["gauges"].items()
+    }
+    return payload
+
+
+@given(st.lists(_EVENTS, max_size=30), st.lists(_EVENTS, max_size=30))
+def test_merge_is_commutative(events_a, events_b):
+    ab = _registry(events_a).merge(_registry(events_b))
+    ba = _registry(events_b).merge(_registry(events_a))
+    assert _canon(ab) == _canon(ba)
+
+
+@given(
+    st.lists(_EVENTS, max_size=20),
+    st.lists(_EVENTS, max_size=20),
+    st.lists(_EVENTS, max_size=20),
+)
+def test_merge_is_associative(events_a, events_b, events_c):
+    left = _registry(events_a).merge(
+        _registry(events_b).merge(_registry(events_c))
+    )
+    right = _registry(events_a).merge(_registry(events_b)).merge(
+        _registry(events_c)
+    )
+    assert _canon(left) == _canon(right)
+
+
+@given(st.lists(_EVENTS, max_size=30))
+def test_empty_registry_is_identity(events):
+    merged = _registry(events).merge(MetricsRegistry())
+    assert _canon(merged) == _canon(_registry(events))
+    absorbed = MetricsRegistry().merge(_registry(events))
+    assert _canon(absorbed) == _canon(_registry(events))
+
+
+@given(
+    st.lists(st.lists(_EVENTS, max_size=15), min_size=1, max_size=6)
+)
+def test_merge_of_workers_equals_sequential(event_shards):
+    """N worker registries merged == one registry that saw it all.
+
+    This is exactly the runner's fan-in: each shard of days records
+    into its own registry; merging them (in any order the pool
+    finishes) must match a sequential run over the concatenation.
+    """
+    workers = [_registry(shard) for shard in event_shards]
+    merged = MetricsRegistry()
+    for worker in workers:
+        merged.merge(worker)
+    sequential = MetricsRegistry()
+    for shard in event_shards:
+        _apply(sequential, shard)
+    assert _canon(merged) == _canon(sequential)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -114,3 +115,90 @@ class TestCommands:
         )
         assert completed.returncode == 0, completed.stderr
         assert "break-even" in completed.stdout
+
+
+class TestErrorPaths:
+    """Bad flags exit non-zero with a one-line message, no traceback."""
+
+    def _assert_clean_failure(self, argv, capsys, match):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("repro: error:")
+        assert match in err_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_unknown_scale(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "galactic", "market"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_jobs_zero(self, capsys):
+        self._assert_clean_failure(
+            ["infer", "--jobs", "0"], capsys, "--jobs"
+        )
+
+    def test_jobs_negative(self, capsys):
+        self._assert_clean_failure(
+            ["figures", "out", "--jobs", "-3"], capsys, "--jobs"
+        )
+
+    def test_cache_dir_not_creatable(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        self._assert_clean_failure(
+            ["infer", "--cache-dir", str(blocker / "cache")],
+            capsys, "--cache-dir",
+        )
+
+    @pytest.mark.skipif(
+        os.geteuid() == 0, reason="root ignores directory permissions"
+    )
+    def test_cache_dir_unwritable(self, tmp_path, capsys):
+        read_only = tmp_path / "ro"
+        read_only.mkdir(mode=0o500)
+        try:
+            self._assert_clean_failure(
+                ["infer", "--cache-dir", str(read_only)],
+                capsys, "not writable",
+            )
+        finally:
+            read_only.chmod(0o700)
+
+    def test_metrics_out_is_directory(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["infer", "--metrics-out", str(tmp_path)],
+            capsys, "is a directory",
+        )
+
+    def test_metrics_out_missing_parent(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["market", "--metrics-out", str(tmp_path / "no" / "m.json")],
+            capsys, "does not exist",
+        )
+
+    def test_manifest_missing_file(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["manifest", str(tmp_path / "absent.json")],
+            capsys, "no manifest",
+        )
+
+    def test_broken_pipe_is_silent(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            f"{sys.executable} -m repro advise | head -1",
+            shell=True,
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert completed.returncode == 0  # head's status, not repro's
+        assert "repro: error" not in completed.stderr
+        assert "Traceback" not in completed.stderr
+
