@@ -1,13 +1,21 @@
-"""Loaders for the on-disk dataset formats."""
+"""Loaders for the on-disk dataset formats.
+
+Every record-level loader takes an
+:class:`~repro.ingest.quarantine.ErrorPolicy`: ``STRICT`` (the
+default) preserves fail-fast behaviour, ``QUARANTINE`` sets malformed
+records aside into a :class:`~repro.ingest.quarantine.QuarantineReport`
+and keeps loading, so one bad record no longer aborts a whole run.
+"""
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.datasets.scrapes import read_scrape_csv
 from repro.errors import DatasetError
+from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.market.leasing import ScrapeRecord
 from repro.market.transactions import TransactionDataset
 from repro.registry.transfers import TransferLedger
@@ -16,18 +24,53 @@ from repro.whois.snapshot import read_snapshot_file
 
 
 def load_transfer_ledger(
-    feeds_dir: Union[str, pathlib.Path]
+    feeds_dir: Union[str, pathlib.Path],
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> TransferLedger:
-    """Rebuild a de-duplicated ledger from all per-RIR feed files."""
+    """Rebuild a de-duplicated ledger from all per-RIR feed files.
+
+    Unreadable or syntactically invalid feed files raise
+    :class:`~repro.errors.DatasetError` naming the offending path in
+    strict mode; in quarantine mode the whole file is quarantined and
+    the remaining feeds still load.
+    """
     base = pathlib.Path(feeds_dir)
     feed_payloads = []
+    feed_sources: List[str] = []
     paths = sorted(base.glob("*_transfers_latest.json"))
     if not paths:
         raise DatasetError(f"no transfer feeds under {base}")
     for path in paths:
-        with open(path, encoding="utf-8") as handle:
-            feed_payloads.append(json.load(handle))
-    return TransferLedger.from_feeds(feed_payloads)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise DatasetError(
+                    f"invalid JSON in transfer feed {path}: {exc}"
+                ) from exc
+            if report is not None:
+                report.add(
+                    str(path), -1, f"invalid JSON: {exc}", kind="transfers"
+                )
+            continue
+        except OSError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise DatasetError(
+                    f"cannot read transfer feed {path}: {exc}"
+                ) from exc
+            if report is not None:
+                report.add(
+                    str(path), -1, f"unreadable: {exc}", kind="transfers"
+                )
+            continue
+        feed_payloads.append(payload)
+        feed_sources.append(str(path))
+    return TransferLedger.from_feeds(
+        feed_payloads, policy=policy, report=report, sources=feed_sources
+    )
 
 
 def load_priced_transactions(
@@ -38,17 +81,23 @@ def load_priced_transactions(
 
 
 def load_whois_snapshot(
-    path: Union[str, pathlib.Path]
+    path: Union[str, pathlib.Path],
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> WhoisDatabase:
     """Load a WHOIS split file into a queryable database."""
     database = WhoisDatabase("RIPE")
-    for obj in read_snapshot_file(path):
+    for obj in read_snapshot_file(path, policy=policy, report=report):
         database.add_inetnum(obj)
     return database
 
 
 def load_leasing_scrapes(
-    path: Union[str, pathlib.Path]
+    path: Union[str, pathlib.Path],
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> List[ScrapeRecord]:
     """Load the leasing scrape CSV."""
-    return read_scrape_csv(path)
+    return read_scrape_csv(path, policy=policy, report=report)

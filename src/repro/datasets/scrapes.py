@@ -6,9 +6,10 @@ import csv
 import datetime
 import io
 import pathlib
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.errors import DatasetError
+from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.market.leasing import ScrapeRecord
 
 _FIELDS = ["date", "provider", "price", "bundles_hosting"]
@@ -37,11 +38,22 @@ def write_scrape_csv(
     return str(path)
 
 
-def read_scrape_csv(path: Union[str, pathlib.Path]) -> List[ScrapeRecord]:
-    """Read scrape records back from CSV."""
+def read_scrape_csv(
+    path: Union[str, pathlib.Path],
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
+) -> List[ScrapeRecord]:
+    """Read scrape records back from CSV.
+
+    ``policy=STRICT`` (default) raises on the first bad row;
+    ``QUARANTINE`` collects bad rows into ``report`` (path, 0-based
+    data-row index, reason) and keeps going.
+    """
     records: List[ScrapeRecord] = []
+    source = str(path)
     with open(path, encoding="utf-8") as handle:
-        for row in csv.DictReader(handle):
+        for index, row in enumerate(csv.DictReader(handle)):
             try:
                 records.append(
                     ScrapeRecord(
@@ -51,6 +63,11 @@ def read_scrape_csv(path: Union[str, pathlib.Path]) -> List[ScrapeRecord]:
                         bundles_hosting=bool(int(row["bundles_hosting"])),
                     )
                 )
-            except (KeyError, ValueError) as exc:
-                raise DatasetError(f"bad scrape row {row!r}: {exc}") from exc
+            except (KeyError, TypeError, ValueError) as exc:
+                if policy is ErrorPolicy.STRICT:
+                    raise DatasetError(
+                        f"bad scrape row {row!r}: {exc}"
+                    ) from exc
+                if report is not None:
+                    report.add(source, index, str(exc), kind="scrapes")
     return records

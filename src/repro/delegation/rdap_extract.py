@@ -10,15 +10,26 @@ From a WHOIS snapshot:
 3. query RDAP for each remaining block to obtain its ``parentHandle``,
 4. drop intra-organization pairs (same registrant or administrator as
    the parent).
+
+Fault tolerance: the sweep takes one optional
+:class:`~repro.ingest.journal.SweepJournal` — every definitive lookup
+outcome is journaled as it completes, so a crashed or throttled-out
+sweep resumes without re-querying — and one optional
+:class:`~repro.ingest.quarantine.ErrorPolicy`: in ``QUARANTINE`` mode
+a block whose query gives up (retries exhausted) or whose payload is
+malformed is set aside in the report and the sweep continues; failed
+blocks are *not* journaled, so a resume retries them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.delegation.model import RdapDelegation
-from repro.errors import ReproError
+from repro.errors import RdapError, ReproError
+from repro.ingest.journal import SweepJournal
+from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.netbase.prefix import IPv4Prefix
 from repro.rdap.client import RdapClient
 from repro.whois.inetnum import InetnumObject, InetnumStatus
@@ -35,6 +46,8 @@ class RdapExtractionStats:
     no_parent: int = 0
     intra_org: int = 0
     delegations: int = 0
+    quarantined: int = 0
+    replayed: int = 0
 
     @property
     def assigned_smaller_than_24_fraction(self) -> float:
@@ -50,12 +63,21 @@ def extract_rdap_delegations(
     *,
     min_block_length: int = 24,
     stats: Optional[RdapExtractionStats] = None,
+    journal: Optional[SweepJournal] = None,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> List[RdapDelegation]:
     """Run the §4 RDAP pipeline over snapshot ``inetnums``.
 
     ``client`` resolves parent handles (one RDAP query per candidate).
     Parent registration data comes from the *server's* database — the
     measurement only trusts what the public interface exposes.
+
+    With a ``journal``, candidates whose key (the inetnum range) was
+    already journaled replay their recorded outcome — counted in
+    ``stats`` exactly as a live lookup, so a resumed sweep's stats and
+    delegations match an uninterrupted one — without touching the
+    client.
     """
     if stats is None:
         stats = RdapExtractionStats()
@@ -63,7 +85,7 @@ def extract_rdap_delegations(
     # so intra-org checks reuse queries instead of re-asking.
     parent_entities: Dict[str, Dict[str, str]] = {}
     delegations: List[RdapDelegation] = []
-    for obj in inetnums:
+    for index, obj in enumerate(inetnums):
         if obj.status is InetnumStatus.SUB_ALLOCATED_PA:
             stats.sub_allocated_total += 1
         elif obj.status is InetnumStatus.ASSIGNED_PA:
@@ -79,46 +101,132 @@ def extract_rdap_delegations(
             stats.smaller_than_24 += 1
             continue
 
-        # One RDAP query per candidate block.
-        probe = obj.primary_prefix()
+        key = obj.range_text()
+        if journal is not None and key in journal:
+            stats.replayed += 1
+            _replay_outcome(journal.get(key) or {}, stats, delegations)
+            continue
+
         stats.queried += 1
-        response = client.lookup_ip(probe)
-        if response is None:
-            stats.no_parent += 1
-            continue
-        parent_handle = response.get("parentHandle")
-        if parent_handle is None:
-            stats.no_parent += 1
-            continue
-        parent_handle = str(parent_handle)
-
-        # Resolve the parent's registrant/admin (cached per handle).
-        entities = parent_entities.get(parent_handle)
-        if entities is None:
-            parent_prefixes = _handle_to_prefixes(parent_handle)
-            parent_response = (
-                client.lookup_ip(parent_prefixes[0])
-                if parent_prefixes
-                else None
+        try:
+            kind, delegation = _process_candidate(
+                obj, client, parent_entities
             )
-            entities = _entity_roles(parent_response)
-            parent_entities[parent_handle] = entities
-
-        child_entities = _entity_roles(response)
-        if _same_org(child_entities, entities):
-            stats.intra_org += 1
+        except RdapError as exc:
+            # The client exhausted its retries (persistent throttling
+            # or timeouts).  Not journaled: a resume retries the block.
+            if policy is ErrorPolicy.STRICT:
+                raise
+            stats.quarantined += 1
+            if report is not None:
+                report.add("rdap", index, f"{key}: {exc}", kind="rdap")
             continue
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            # Structurally malformed RDAP payload.
+            if policy is ErrorPolicy.STRICT:
+                raise RdapError(
+                    f"malformed RDAP payload for {key}: {exc}"
+                ) from exc
+            stats.quarantined += 1
+            if report is not None:
+                report.add(
+                    "rdap", index,
+                    f"{key}: malformed payload: {exc}", kind="rdap",
+                )
+            continue
+
+        if kind == "no_parent":
+            stats.no_parent += 1
+        elif kind == "intra_org":
+            stats.intra_org += 1
+        else:
+            stats.delegations += 1
+            assert delegation is not None
+            delegations.append(delegation)
+        if journal is not None:
+            journal.record(key, _outcome_json(kind, delegation))
+    return delegations
+
+
+def _process_candidate(
+    obj: InetnumObject,
+    client: RdapClient,
+    parent_entities: Dict[str, Dict[str, str]],
+) -> Tuple[str, Optional[RdapDelegation]]:
+    """One RDAP lookup plus the §4 filters; returns (outcome, record)."""
+    probe = obj.primary_prefix()
+    response = client.lookup_ip(probe)
+    if response is None:
+        return "no_parent", None
+    parent_handle = response.get("parentHandle")
+    if parent_handle is None:
+        return "no_parent", None
+    parent_handle = str(parent_handle)
+
+    # Resolve the parent's registrant/admin (cached per handle).
+    entities = parent_entities.get(parent_handle)
+    if entities is None:
+        parent_prefixes = _handle_to_prefixes(parent_handle)
+        parent_response = (
+            client.lookup_ip(parent_prefixes[0])
+            if parent_prefixes
+            else None
+        )
+        entities = _entity_roles(parent_response)
+        parent_entities[parent_handle] = entities
+
+    child_entities = _entity_roles(response)
+    if _same_org(child_entities, entities):
+        return "intra_org", None
+    return "delegation", RdapDelegation(
+        child_first=obj.first,
+        child_last=obj.last,
+        child_handle=str(response.get("handle", obj.handle)),
+        parent_handle=parent_handle,
+        status=obj.status.value,
+    )
+
+
+def _outcome_json(
+    kind: str, delegation: Optional[RdapDelegation]
+) -> dict:
+    outcome: dict = {"kind": kind}
+    if delegation is not None:
+        outcome.update(
+            child_first=delegation.child_first,
+            child_last=delegation.child_last,
+            child_handle=delegation.child_handle,
+            parent_handle=delegation.parent_handle,
+            status=delegation.status,
+        )
+    return outcome
+
+
+def _replay_outcome(
+    outcome: dict,
+    stats: RdapExtractionStats,
+    delegations: List[RdapDelegation],
+) -> None:
+    """Apply one journaled outcome as if the lookup had just run."""
+    stats.queried += 1
+    kind = outcome.get("kind")
+    if kind == "no_parent":
+        stats.no_parent += 1
+    elif kind == "intra_org":
+        stats.intra_org += 1
+    elif kind == "delegation":
         stats.delegations += 1
         delegations.append(
             RdapDelegation(
-                child_first=obj.first,
-                child_last=obj.last,
-                child_handle=str(response.get("handle", obj.handle)),
-                parent_handle=parent_handle,
-                status=obj.status.value,
+                child_first=int(outcome["child_first"]),
+                child_last=int(outcome["child_last"]),
+                child_handle=str(outcome["child_handle"]),
+                parent_handle=str(outcome["parent_handle"]),
+                status=str(outcome["status"]),
             )
         )
-    return delegations
+    else:
+        raise ReproError(f"corrupt journal outcome: {outcome!r}")
 
 
 def _entity_roles(response: Optional[Dict[str, object]]) -> Dict[str, str]:

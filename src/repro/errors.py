@@ -64,6 +64,10 @@ class RdapNotFoundError(RdapError):
     """The RDAP server has no object for the queried resource (HTTP 404)."""
 
 
+class RdapTimeoutError(RdapError):
+    """An RDAP query timed out before the server answered."""
+
+
 class BgpError(ReproError):
     """Base class for BGP data-plane and collector errors."""
 

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the ingestion pipelines.
+
+Everything here is seeded: the same seed reproduces the same fault
+schedule, so the fault-injection suite (``pytest -m faults``) can
+assert *exact* quarantine accounting — the pipeline completes
+end-to-end under injected faults and reports exactly what it dropped.
+
+- :class:`FlakyRdapServer` / :class:`FaultSchedule` — timeout,
+  throttle, and malformed-payload injection under an unmodified
+  :class:`~repro.rdap.client.RdapClient`, against the virtual clock,
+- :func:`corrupt_transfer_feed` / :func:`corrupt_scrape_csv` /
+  :func:`corrupt_snapshot_text` — seeded record-level corruption of
+  the on-disk dataset formats, returning the exact injected count.
+"""
+
+from repro.faults.corrupt import (
+    corrupt_scrape_csv,
+    corrupt_snapshot_text,
+    corrupt_transfer_feed,
+)
+from repro.faults.rdap import (
+    MALFORMED_PAYLOAD,
+    FaultSchedule,
+    FlakyRdapServer,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "FlakyRdapServer",
+    "MALFORMED_PAYLOAD",
+    "corrupt_scrape_csv",
+    "corrupt_snapshot_text",
+    "corrupt_transfer_feed",
+]

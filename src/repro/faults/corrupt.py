@@ -1,0 +1,114 @@
+"""Seeded corruption injectors for the on-disk dataset formats.
+
+Each injector takes a well-formed payload, corrupts a deterministic
+subset of its records (one ``random.Random(seed)`` draw per record),
+and returns the corrupted payload together with the exact number of
+faults injected — the ground truth the fault-injection suite checks
+quarantine accounting against: every injected fault must produce
+exactly one quarantined record, no more, no fewer.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Tuple
+
+
+def corrupt_transfer_feed(
+    feed: dict, *, rate: float, seed: int = 0
+) -> Tuple[dict, int]:
+    """Corrupt ``rate`` of a transfer feed's records; returns
+    ``(corrupted_feed, faults_injected)``.
+
+    Rotates through three realistic failure shapes: a missing
+    ``ip4nets`` section, an unparseable transfer date, and an unknown
+    source RIR.
+    """
+    rng = random.Random(seed)
+    corrupted = copy.deepcopy(feed)
+    injected = 0
+    for record in corrupted.get("transfers", []):
+        if rng.random() >= rate:
+            continue
+        mode = injected % 3
+        if mode == 0:
+            record.pop("ip4nets", None)
+        elif mode == 1:
+            record["transfer_date"] = "not-a-date"
+        else:
+            record["source_rir"] = "ATLANTIS"
+        injected += 1
+    return corrupted, injected
+
+
+def corrupt_scrape_csv(
+    text: str, *, rate: float, seed: int = 0
+) -> Tuple[str, int]:
+    """Corrupt ``rate`` of a scrape CSV's data rows; returns
+    ``(corrupted_text, faults_injected)``.
+
+    Failure shapes: unparseable price, unparseable date, and a
+    non-integer ``bundles_hosting`` flag.
+    """
+    rng = random.Random(seed)
+    lines = text.splitlines()
+    if not lines:
+        return text, 0
+    out: List[str] = [lines[0]]
+    injected = 0
+    for line in lines[1:]:
+        if not line.strip() or rng.random() >= rate:
+            out.append(line)
+            continue
+        fields = line.split(",")
+        mode = injected % 3
+        if mode == 0 and len(fields) > 2:
+            fields[2] = "n/a"
+        elif mode == 1 and len(fields) > 0:
+            fields[0] = "someday"
+        elif len(fields) > 3:
+            fields[3] = "maybe"
+        else:
+            fields = ["someday"] + fields[1:]
+        out.append(",".join(fields))
+        injected += 1
+    return "\n".join(out) + "\n", injected
+
+
+def corrupt_snapshot_text(
+    text: str, *, rate: float, seed: int = 0
+) -> Tuple[str, int]:
+    """Corrupt ``rate`` of an RPSL split file's blocks; returns
+    ``(corrupted_text, faults_injected)``.
+
+    Failure shapes: a missing-colon attribute line, an unknown
+    ``status:`` value, and a truncated block with its ``inetnum:``
+    line gone.
+    """
+    rng = random.Random(seed)
+    blocks = text.split("\n\n")
+    injected = 0
+    out: List[str] = []
+    for block in blocks:
+        if not block.strip() or rng.random() >= rate:
+            out.append(block)
+            continue
+        lines = block.splitlines()
+        mode = injected % 3
+        if mode == 0:
+            lines[0] = lines[0].replace(":", " ", 1)
+        elif mode == 1:
+            lines = [
+                "status:         TOTALLY BOGUS"
+                if line.startswith("status:")
+                else line
+                for line in lines
+            ]
+        else:
+            lines = [
+                line for line in lines if not line.startswith("inetnum:")
+            ]
+        out.append("\n".join(lines))
+        injected += 1
+    return "\n\n".join(out), injected

@@ -1,0 +1,107 @@
+"""A deterministic flaky RDAP server for fault-injection tests.
+
+:class:`FlakyRdapServer` wraps a real
+:class:`~repro.rdap.server.RdapServer` and injects a seeded schedule
+of faults — timeouts, synthetic throttles, malformed payloads —
+against the same virtual clock the client paces itself with, so an
+entire faulty sweep is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import RdapRateLimitError, RdapTimeoutError
+from repro.netbase.prefix import IPv4Prefix
+from repro.rdap.server import RdapServer
+
+#: A payload no RFC 7483 parser should accept (not even a JSON object).
+MALFORMED_PAYLOAD: list = ["malformed rdap payload"]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Per-query fault probabilities, decided by a seeded RNG.
+
+    The decision sequence depends only on ``seed`` and the order of
+    queries, so a rerun of the same sweep injects the same faults at
+    the same points.  Rates are checked in order (timeout, throttle,
+    corrupt) against one uniform draw per query.
+    """
+
+    seed: int = 0
+    timeout_rate: float = 0.0
+    throttle_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("timeout_rate", "throttle_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.timeout_rate + self.throttle_rate + self.corrupt_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+
+
+class FlakyRdapServer:
+    """Drop-in :class:`~repro.rdap.server.RdapServer` stand-in.
+
+    Duck-types the server's ``lookup_ip`` signature so it slots under
+    an unmodified :class:`~repro.rdap.client.RdapClient`.  Injected
+    throttles are *synthetic* (they do not consume rate-limiter
+    tokens); everything else passes through to the wrapped server.
+    """
+
+    def __init__(self, server: RdapServer, schedule: FaultSchedule):
+        self._server = server
+        self._schedule = schedule
+        self._rng = random.Random(schedule.seed)
+        self.queries = 0
+        self.timeouts_injected = 0
+        self.throttles_injected = 0
+        self.corruptions_injected = 0
+
+    @property
+    def database(self):
+        return self._server.database
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.timeouts_injected
+            + self.throttles_injected
+            + self.corruptions_injected
+        )
+
+    def lookup_ip(
+        self,
+        prefix: IPv4Prefix,
+        *,
+        client_id: str = "anonymous",
+        now: float = 0.0,
+    ) -> Dict[str, object]:
+        self.queries += 1
+        draw = self._rng.random()
+        schedule = self._schedule
+        if draw < schedule.timeout_rate:
+            self.timeouts_injected += 1
+            raise RdapTimeoutError(f"injected timeout for {prefix}")
+        draw -= schedule.timeout_rate
+        if draw < schedule.throttle_rate:
+            self.throttles_injected += 1
+            raise RdapRateLimitError(f"injected throttle for {prefix}")
+        draw -= schedule.throttle_rate
+        if draw < schedule.corrupt_rate:
+            self.corruptions_injected += 1
+            return MALFORMED_PAYLOAD  # type: ignore[return-value]
+        return self._server.lookup_ip(
+            prefix, client_id=client_id, now=now
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlakyRdapServer {self.queries} queries, "
+            f"{self.faults_injected} faults injected>"
+        )

@@ -1,0 +1,34 @@
+"""Fault-tolerant ingestion: error policies, quarantine, backoff, journals.
+
+The datasets the paper ingests (RIR transfer JSON feeds, broker CSVs,
+RPSL split files, RDAP responses) are full of malformed records; this
+package gives every loader a shared vocabulary for degrading
+gracefully instead of failing hard:
+
+- :class:`ErrorPolicy` / :class:`QuarantineReport` — strict (default,
+  fail-fast) vs. quarantine-and-continue parsing, with exact drop
+  accounting that surfaces through ``repro.obs`` counters and the run
+  manifest's ``degradation`` section,
+- :class:`BackoffPolicy` — capped exponential backoff with
+  deterministic jitter, shared by the RDAP client,
+- :class:`SweepJournal` — an append-only JSONL journal that makes the
+  RDAP sweep resumable after a crash or throttle-out.
+"""
+
+from repro.ingest.backoff import BackoffPolicy
+from repro.ingest.journal import SweepJournal
+from repro.ingest.quarantine import (
+    DEFAULT_MAX_DETAIL,
+    ErrorPolicy,
+    QuarantinedRecord,
+    QuarantineReport,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "DEFAULT_MAX_DETAIL",
+    "ErrorPolicy",
+    "QuarantineReport",
+    "QuarantinedRecord",
+    "SweepJournal",
+]

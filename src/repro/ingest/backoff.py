@@ -1,0 +1,61 @@
+"""Capped exponential backoff with deterministic jitter.
+
+Extracted from :class:`~repro.rdap.client.RdapClient`, whose inline
+backoff doubled without bound: a long throttling episode pushed the
+virtual clock out by hours.  The policy here is shared by everything
+that retries (the RDAP client today; any future fetcher), caps the
+delay, and — because the whole pipeline runs against a virtual clock —
+derives its jitter from a hash instead of a live RNG, so a rerun with
+the same seed reproduces the exact same schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``initial * multiplier**attempt``, capped.
+
+    ``jitter_fraction`` shaves up to that fraction off the capped
+    delay, deterministically per ``(seed, key, attempt)``; jitter never
+    pushes a delay above ``max_backoff_seconds``.
+    """
+
+    initial_seconds: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 30.0
+    jitter_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_seconds < 0:
+            raise ValueError("initial_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_backoff_seconds < self.initial_seconds:
+            raise ValueError(
+                "max_backoff_seconds must be at least initial_seconds"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        base = self.initial_seconds * self.multiplier ** attempt
+        base = min(base, self.max_backoff_seconds)
+        if self.jitter_fraction == 0.0:
+            return base
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (1.0 - self.jitter_fraction * fraction)
+
+    def schedule(self, retries: int, key: str = "") -> list:
+        """The full delay sequence for ``retries`` retries."""
+        return [self.delay(attempt, key) for attempt in range(retries)]

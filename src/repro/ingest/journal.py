@@ -1,0 +1,115 @@
+"""Append-only journals for resumable sweeps.
+
+The RDAP sweep issues one query per candidate ``inetnum``; against a
+throttled endpoint a full sweep takes hours, and a crash used to throw
+all completed lookups away.  :class:`SweepJournal` persists each
+completed lookup's *outcome* as one JSON line, flushed as soon as it
+is recorded, so a restarted sweep replays finished work instead of
+re-querying.
+
+Crash tolerance: a process dying mid-write leaves a truncated final
+line; loading skips it (that lookup simply reruns).  Failed lookups
+are deliberately *not* journaled by the sweep, so a resume retries
+them — only definitive outcomes are durable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import DatasetError
+
+PathLike = Union[str, pathlib.Path]
+
+
+class SweepJournal:
+    """A durable ``key -> outcome`` map backed by a JSONL file.
+
+    ``outcome`` values are JSON-serializable dicts.  Recording a key
+    twice keeps the latest outcome (last line wins on load, matching
+    append order).
+    """
+
+    def __init__(self, path: PathLike):
+        self._path = pathlib.Path(path)
+        self._entries: Dict[str, dict] = {}
+        self._handle = None
+        self._load()
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise DatasetError(
+                f"cannot read sweep journal {self._path}: {exc}"
+            ) from exc
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # Truncated final line from a crash mid-write: drop it
+                # (the lookup reruns) rather than failing the resume.
+                continue
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("key"), str)
+                and isinstance(entry.get("outcome"), dict)
+            ):
+                self._entries[entry["key"]] = entry["outcome"]
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._entries.get(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def record(self, key: str, outcome: dict) -> None:
+        """Persist one completed lookup (flushed immediately)."""
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a", encoding="utf-8")
+            # A crash mid-write can leave the file without a trailing
+            # newline; terminate that partial line so the next record
+            # does not glue itself onto it.
+            if self._handle.tell() > 0:
+                with open(self._path, "rb") as tail:
+                    tail.seek(-1, 2)
+                    if tail.read(1) != b"\n":
+                        self._handle.write("\n")
+        self._handle.write(
+            json.dumps({"key": key, "outcome": outcome}, sort_keys=True)
+            + "\n"
+        )
+        self._handle.flush()
+        self._entries[key] = outcome
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<SweepJournal {self._path} ({len(self._entries)} entries)>"

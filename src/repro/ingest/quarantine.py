@@ -1,0 +1,164 @@
+"""Quarantine-and-continue error handling for the dataset loaders.
+
+Registry data is messy: transfer feeds carry malformed records, broker
+CSVs have unparseable rows, RPSL dumps contain truncated blocks.  A
+measurement pipeline must tolerate those records rather than crash on
+the first one (the "Primer on IPv4 Scarcity" and "Lost in Space"
+experience).  The types here let every record-level parser choose
+between the two sane behaviours:
+
+- :attr:`ErrorPolicy.STRICT` — today's fail-fast behaviour (the
+  default): the first malformed record raises, outputs stay
+  byte-identical to a loader without quarantine support.
+- :attr:`ErrorPolicy.QUARANTINE` — malformed records are set aside
+  into a :class:`QuarantineReport` (source, record index, reason) and
+  parsing continues; the report feeds ``repro.obs`` counters and the
+  run manifest's ``degradation`` section.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import NULL, MetricsRegistry
+
+#: Detailed entries kept per source; counts are always exact.
+DEFAULT_MAX_DETAIL = 100
+
+
+class ErrorPolicy(enum.Enum):
+    """How a loader reacts to a malformed record."""
+
+    STRICT = "strict"
+    QUARANTINE = "quarantine"
+
+    @classmethod
+    def parse(cls, text: str) -> "ErrorPolicy":
+        for policy in cls:
+            if policy.value == text.strip().lower():
+                return policy
+        raise ValueError(f"unknown error policy: {text!r}")
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record set aside instead of aborting the run."""
+
+    source: str  #: input path (or label) the record came from
+    index: int   #: record index within the source (0-based)
+    reason: str  #: one-line parse failure description
+    kind: str = "record"  #: coarse category (transfers, scrapes, rpsl, rdap)
+
+
+class QuarantineReport:
+    """Collects quarantined records across one ingestion run.
+
+    Counts are exact; the per-record detail list is capped at
+    ``max_detail`` entries per source so a pathological input cannot
+    balloon the run manifest.  Every addition also increments the
+    ``ingest.quarantined`` / ``ingest.quarantined.<kind>`` counters of
+    the attached :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: MetricsRegistry = NULL,
+        max_detail: int = DEFAULT_MAX_DETAIL,
+    ) -> None:
+        self._records: List[QuarantinedRecord] = []
+        self._counts: Dict[str, int] = {}
+        self._kind_counts: Dict[str, int] = {}
+        self._detail_per_source: Dict[str, int] = {}
+        self._metrics = metrics
+        self._max_detail = max_detail
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    def add(
+        self, source: str, index: int, reason: str, *, kind: str = "record"
+    ) -> None:
+        """Record one quarantined record."""
+        self._counts[source] = self._counts.get(source, 0) + 1
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        kept = self._detail_per_source.get(source, 0)
+        if kept < self._max_detail:
+            self._records.append(
+                QuarantinedRecord(
+                    source=source, index=index, reason=reason, kind=kind
+                )
+            )
+            self._detail_per_source[source] = kept + 1
+        self._metrics.inc("ingest.quarantined")
+        self._metrics.inc(f"ingest.quarantined.{kind}")
+
+    # -- reading --------------------------------------------------------
+
+    def count(self, source: Optional[str] = None) -> int:
+        """Total quarantined records, or the total for one source."""
+        if source is not None:
+            return self._counts.get(source, 0)
+        return sum(self._counts.values())
+
+    def by_source(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def by_kind(self) -> Dict[str, int]:
+        return dict(self._kind_counts)
+
+    def kind_count(self, kind: str) -> int:
+        return self._kind_counts.get(kind, 0)
+
+    def records(self) -> List[QuarantinedRecord]:
+        """The kept detail entries (capped per source)."""
+        return list(self._records)
+
+    def merge(self, other: "QuarantineReport") -> "QuarantineReport":
+        """Fold ``other``'s entries into this report; returns self."""
+        for record in other._records:
+            self.add(
+                record.source, record.index, record.reason, kind=record.kind
+            )
+        for source, count in other._counts.items():
+            # Entries beyond other's detail cap carry no kind; count
+            # them under the generic "record" kind.
+            extra = count - other._detail_per_source.get(source, 0)
+            if extra > 0:
+                self._counts[source] = self._counts.get(source, 0) + extra
+                self._kind_counts["record"] = (
+                    self._kind_counts.get("record", 0) + extra
+                )
+                self._metrics.inc("ingest.quarantined", extra)
+        return self
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __bool__(self) -> bool:
+        return self.count() > 0
+
+    def to_json(self) -> dict:
+        """The manifest ``degradation`` payload."""
+        return {
+            "quarantined_total": self.count(),
+            "by_source": dict(sorted(self._counts.items())),
+            "by_kind": dict(sorted(self._kind_counts.items())),
+            "records": [
+                {
+                    "source": r.source,
+                    "index": r.index,
+                    "kind": r.kind,
+                    "reason": r.reason,
+                }
+                for r in self._records
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuarantineReport {self.count()} records from "
+            f"{len(self._counts)} sources>"
+        )

@@ -76,6 +76,9 @@ class RunManifest:
     extra: Dict[str, object] = field(default_factory=dict)
     metrics: Optional[MetricsRegistry] = None
     created: Optional[str] = None
+    #: Quarantine accounting for degraded-mode runs (None = strict run
+    #: or nothing quarantined); see ``RunManifest.attach_degradation``.
+    degradation: Optional[dict] = None
 
     def add_stage(
         self,
@@ -98,6 +101,16 @@ class RunManifest:
     def add_input(self, name: str, fingerprint: str) -> None:
         self.inputs[name] = fingerprint
 
+    def attach_degradation(self, report) -> None:
+        """Record a quarantine report's accounting in the manifest.
+
+        ``report`` is a
+        :class:`~repro.ingest.quarantine.QuarantineReport` (duck-typed
+        to avoid an obs → ingest dependency); an empty report attaches
+        as ``None`` so pristine runs are distinguishable at a glance.
+        """
+        self.degradation = report.to_json() if len(report) else None
+
     def to_json(self) -> dict:
         return {
             "schema": MANIFEST_SCHEMA,
@@ -113,6 +126,7 @@ class RunManifest:
             "inputs": dict(sorted(self.inputs.items())),
             "stages": [stage.to_json() for stage in self.stages],
             "cache": dict(sorted(self.cache.items())),
+            "degradation": self.degradation,
             "extra": self.extra,
             "metrics": (
                 self.metrics.to_json()
@@ -199,6 +213,18 @@ def render_manifest(payload: dict) -> str:
             rows,
             title="per-stage attrition",
         ))
+    degradation = payload.get("degradation")
+    if degradation:
+        total = degradation.get("quarantined_total", 0)
+        lines.append("")
+        lines.append(f"DEGRADED RUN: {total} records quarantined")
+        by_source = degradation.get("by_source") or {}
+        if by_source:
+            lines.append(render_table(
+                ["source", "quarantined"],
+                sorted(by_source.items()),
+                title="quarantine by source",
+            ))
     metrics = payload.get("metrics") or {}
     timers = metrics.get("timers") or {}
     if timers:

@@ -12,7 +12,13 @@ import logging
 
 from typing import Dict, Optional
 
-from repro.errors import RdapError, RdapNotFoundError, RdapRateLimitError
+from repro.errors import (
+    RdapError,
+    RdapNotFoundError,
+    RdapRateLimitError,
+    RdapTimeoutError,
+)
+from repro.ingest.backoff import BackoffPolicy
 from repro.netbase.prefix import IPv4Prefix
 from repro.obs.metrics import NULL, MetricsRegistry
 from repro.rdap.server import RdapServer
@@ -47,9 +53,15 @@ class RdapClient:
     pace_seconds:
         Idle time inserted between queries (politeness pacing).
     max_retries:
-        Retries after throttling before giving up.
+        Retries after throttling/timeouts before giving up.
     backoff_seconds:
-        Initial backoff, doubled per retry.
+        Initial backoff, doubled per retry up to ``max_backoff_seconds``.
+    max_backoff_seconds:
+        Cap on a single backoff delay (the uncapped doubling used to
+        push the clock out unboundedly on long throttling episodes).
+    backoff:
+        A full :class:`~repro.ingest.backoff.BackoffPolicy`; overrides
+        ``backoff_seconds``/``max_backoff_seconds`` when given.
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; receives
         ``rdap.queries`` / ``rdap.throttles`` / ``rdap.retries`` /
@@ -64,6 +76,8 @@ class RdapClient:
         pace_seconds: float = 0.05,
         max_retries: int = 5,
         backoff_seconds: float = 0.5,
+        max_backoff_seconds: float = 30.0,
+        backoff: Optional[BackoffPolicy] = None,
         clock: Optional[VirtualClock] = None,
         metrics: MetricsRegistry = NULL,
     ):
@@ -73,7 +87,10 @@ class RdapClient:
         self._client_id = client_id
         self._pace = pace_seconds
         self._max_retries = max_retries
-        self._backoff = backoff_seconds
+        self._backoff = backoff or BackoffPolicy(
+            initial_seconds=backoff_seconds,
+            max_backoff_seconds=max(max_backoff_seconds, backoff_seconds),
+        )
         self._clock = clock or VirtualClock()
         self._metrics = metrics
         self.queries_sent = 0
@@ -88,13 +105,17 @@ class RdapClient:
     def clock(self) -> VirtualClock:
         return self._clock
 
+    @property
+    def backoff_policy(self) -> BackoffPolicy:
+        return self._backoff
+
     def lookup_ip(self, prefix: IPv4Prefix) -> Optional[Dict[str, object]]:
         """Query ``/ip/<prefix>``; None when the server has no object.
 
-        Raises :class:`~repro.errors.RdapError` if throttling persists
-        past ``max_retries``.
+        Raises :class:`~repro.errors.RdapError` if throttling or
+        timeouts persist past ``max_retries``.  Backoff delays follow
+        the capped :class:`~repro.ingest.backoff.BackoffPolicy`.
         """
-        backoff = self._backoff
         for attempt in range(self._max_retries + 1):
             self._clock.sleep(self._pace)
             self.queries_sent += 1
@@ -111,18 +132,29 @@ class RdapClient:
                 self.not_found_count += 1
                 self._metrics.inc("rdap.not_found")
                 return None
-            except RdapRateLimitError:
-                self.throttle_events += 1
-                self._metrics.inc("rdap.throttles")
+            except RdapTimeoutError:
+                self._metrics.inc("rdap.timeouts")
+                delay = self._backoff.delay(attempt, key=str(prefix))
                 logger.warning(
-                    "throttled querying %s (attempt %d/%d); backing "
+                    "timeout querying %s (attempt %d/%d); backing "
                     "off %.2fs", prefix, attempt + 1,
-                    self._max_retries + 1, backoff,
+                    self._max_retries + 1, delay,
                 )
                 if attempt == self._max_retries:
                     break
-                self._clock.sleep(backoff)
-                backoff *= 2.0
+                self._clock.sleep(delay)
+            except RdapRateLimitError:
+                self.throttle_events += 1
+                self._metrics.inc("rdap.throttles")
+                delay = self._backoff.delay(attempt, key=str(prefix))
+                logger.warning(
+                    "throttled querying %s (attempt %d/%d); backing "
+                    "off %.2fs", prefix, attempt + 1,
+                    self._max_retries + 1, delay,
+                )
+                if attempt == self._max_retries:
+                    break
+                self._clock.sleep(delay)
         self._metrics.inc("rdap.gave_up")
         raise RdapError(
             f"gave up on {prefix} after {self._max_retries} retries"

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import DatasetError, TransferError
+from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.netbase.prefix import IPv4Prefix, format_address, parse_address
 from repro.registry.rir import RIR, profile_for
 
@@ -274,17 +275,63 @@ class TransferLedger:
         return paths
 
     @classmethod
-    def from_feeds(cls, feeds: Iterable[Dict[str, object]]) -> "TransferLedger":
+    def from_feeds(
+        cls,
+        feeds: Iterable[Dict[str, object]],
+        *,
+        policy: ErrorPolicy = ErrorPolicy.STRICT,
+        report: Optional[QuarantineReport] = None,
+        sources: Optional[List[str]] = None,
+    ) -> "TransferLedger":
         """Rebuild a ledger from published feeds, de-duplicating the
-        inter-RIR records that appear at both endpoints."""
+        inter-RIR records that appear at both endpoints.
+
+        With ``policy=STRICT`` (the default) the first malformed record
+        raises :class:`~repro.errors.DatasetError`; with ``QUARANTINE``
+        malformed records land in ``report`` (source, record index,
+        reason) and parsing continues.  ``sources`` optionally labels
+        each feed (e.g. its file path) for the report; otherwise the
+        feed's ``rir`` field is used.
+
+        The de-duplication key includes the published transfer type, so
+        a labelled M&A transfer and a market transfer with otherwise
+        identical endpoints, date, and prefixes stay distinct records;
+        an inter-RIR transfer still collapses to one record because
+        both endpoint feeds publish the same type label.
+        """
         ledger = cls()
         seen: set = set()
-        for feed in feeds:
+        for feed_index, feed in enumerate(feeds):
+            source = (
+                sources[feed_index]
+                if sources is not None and feed_index < len(sources)
+                else str(feed.get("rir", f"feed[{feed_index}]"))
+            )
             transfers = feed.get("transfers", [])
             if not isinstance(transfers, list):
-                raise DatasetError("feed 'transfers' must be a list")
-            for raw in transfers:
-                record = TransferRecord.from_feed_json(raw)
+                if policy is ErrorPolicy.STRICT:
+                    raise DatasetError(
+                        f"{source}: feed 'transfers' must be a list"
+                    )
+                if report is not None:
+                    report.add(
+                        source, -1, "feed 'transfers' must be a list",
+                        kind="transfers",
+                    )
+                continue
+            for index, raw in enumerate(transfers):
+                try:
+                    record = TransferRecord.from_feed_json(raw)
+                except DatasetError as exc:
+                    if policy is ErrorPolicy.STRICT:
+                        raise DatasetError(
+                            f"{source} record {index}: {exc}"
+                        ) from exc
+                    if report is not None:
+                        report.add(
+                            source, index, str(exc), kind="transfers"
+                        )
+                    continue
                 key = (
                     record.date,
                     record.prefixes,
@@ -292,6 +339,7 @@ class TransferLedger:
                     record.recipient_org,
                     record.source_rir,
                     record.recipient_rir,
+                    record.true_type,
                 )
                 if key in seen:
                     continue

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import datetime
 import pathlib
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, ReproError
+from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.netbase.prefix import format_address, parse_address
 from repro.whois.database import WhoisDatabase
 from repro.whois.inetnum import InetnumObject, InetnumStatus, OrgObject
@@ -77,12 +78,30 @@ def _parse_block(block: str) -> InetnumObject:
         raise DatasetError(f"bad inetnum block: {exc}") from exc
 
 
-def parse_snapshot(text: str) -> Iterator[InetnumObject]:
-    """Parse a split file back into inetnum objects."""
-    for block in text.split("\n\n"):
-        if not block.strip():
-            continue
-        yield _parse_block(block)
+def parse_snapshot(
+    text: str,
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
+    source: str = "<snapshot>",
+) -> Iterator[InetnumObject]:
+    """Parse a split file back into inetnum objects.
+
+    ``policy=STRICT`` (default) raises on the first malformed block;
+    ``QUARANTINE`` records it in ``report`` (source, 0-based block
+    index, reason) and parses on.  Malformed here covers missing-colon
+    lines, unknown ``status:`` values, and truncated blocks.
+    """
+    for index, block in enumerate(
+        b for b in text.split("\n\n") if b.strip()
+    ):
+        try:
+            yield _parse_block(block)
+        except ReproError as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise
+            if report is not None:
+                report.add(source, index, str(exc), kind="rpsl")
 
 
 def write_snapshot_file(
@@ -98,11 +117,24 @@ def write_snapshot_file(
 
 
 def read_snapshot_file(
-    path: Union[str, pathlib.Path]
+    path: Union[str, pathlib.Path],
+    *,
+    policy: ErrorPolicy = ErrorPolicy.STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> List[InetnumObject]:
     """Read a split file into a list of inetnum objects."""
-    with open(path, encoding="utf-8") as handle:
-        return list(parse_snapshot(handle.read()))
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise DatasetError(
+            f"cannot read WHOIS snapshot {path}: {exc}"
+        ) from exc
+    return list(
+        parse_snapshot(
+            text, policy=policy, report=report, source=str(path)
+        )
+    )
 
 
 def database_from_snapshot(

@@ -1,0 +1,146 @@
+"""Fault-tolerant loader behaviour: error wrapping and quarantine."""
+
+import datetime
+
+import pytest
+
+from repro.datasets.loaders import (
+    load_leasing_scrapes,
+    load_transfer_ledger,
+)
+from repro.datasets.scrapes import read_scrape_csv, write_scrape_csv
+from repro.errors import DatasetError
+from repro.ingest import ErrorPolicy, QuarantineReport
+from repro.market.leasing import ScrapeRecord
+from repro.netbase.prefix import IPv4Prefix
+from repro.registry.rir import RIR
+from repro.registry.transfers import TransferLedger, TransferType
+
+
+def _write_feeds(tmp_path):
+    ledger = TransferLedger()
+    ledger.record(
+        date=datetime.date(2020, 1, 2),
+        prefixes=[IPv4Prefix.parse("193.0.0.0/24")],
+        source_org="a",
+        recipient_org="b",
+        source_rir=RIR.RIPE,
+        recipient_rir=RIR.RIPE,
+        true_type=TransferType.MARKET,
+    )
+    return ledger.write_feeds(tmp_path)
+
+
+class TestLoadTransferLedgerErrors:
+    def test_invalid_json_names_path(self, tmp_path):
+        """Regression: a broken feed used to leak a raw
+        ``json.JSONDecodeError`` with no file context."""
+        paths = _write_feeds(tmp_path)
+        broken = paths[RIR.APNIC]
+        with open(broken, "w", encoding="utf-8") as handle:
+            handle.write('{"transfers": [')
+        with pytest.raises(DatasetError) as excinfo:
+            load_transfer_ledger(tmp_path)
+        assert "apnic_transfers_latest.json" in str(excinfo.value)
+        assert "invalid JSON" in str(excinfo.value)
+
+    def test_unreadable_feed_names_path(self, tmp_path):
+        paths = _write_feeds(tmp_path)
+        import os
+        import pathlib
+
+        broken = pathlib.Path(paths[RIR.APNIC])
+        broken.chmod(0o000)
+        try:
+            if os.access(broken, os.R_OK):  # running as root
+                pytest.skip("cannot revoke read permission here")
+            with pytest.raises(DatasetError) as excinfo:
+                load_transfer_ledger(tmp_path)
+            assert "apnic_transfers_latest.json" in str(excinfo.value)
+        finally:
+            broken.chmod(0o644)
+
+    def test_quarantine_skips_broken_feed_file(self, tmp_path):
+        paths = _write_feeds(tmp_path)
+        with open(paths[RIR.APNIC], "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        report = QuarantineReport()
+        ledger = load_transfer_ledger(
+            tmp_path, policy=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert len(ledger) == 1  # the RIPE record still loads
+        assert report.count(str(paths[RIR.APNIC])) == 1
+
+    def test_quarantine_reports_feed_paths_for_bad_records(self, tmp_path):
+        import json
+
+        paths = _write_feeds(tmp_path)
+        ripe_path = paths[RIR.RIPE]
+        with open(ripe_path, encoding="utf-8") as handle:
+            feed = json.load(handle)
+        feed["transfers"][0]["transfer_date"] = "not-a-date"
+        with open(ripe_path, "w", encoding="utf-8") as handle:
+            json.dump(feed, handle)
+        report = QuarantineReport()
+        ledger = load_transfer_ledger(
+            tmp_path, policy=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert len(ledger) == 0
+        assert report.count(str(ripe_path)) == 1
+
+    def test_missing_directory_still_raises(self, tmp_path):
+        with pytest.raises(DatasetError, match="no transfer feeds"):
+            load_transfer_ledger(
+                tmp_path, policy=ErrorPolicy.QUARANTINE
+            )
+
+
+class TestScrapeCsvPolicies:
+    def _write_csv(self, tmp_path):
+        records = [
+            ScrapeRecord(
+                date=datetime.date(2020, 1, 6),
+                provider="alpha",
+                price=0.40,
+                bundles_hosting=False,
+            ),
+            ScrapeRecord(
+                date=datetime.date(2020, 1, 13),
+                provider="beta",
+                price=0.45,
+                bundles_hosting=True,
+            ),
+        ]
+        path = tmp_path / "scrapes.csv"
+        write_scrape_csv(records, path)
+        return path
+
+    def test_strict_raises_on_bad_row(self, tmp_path):
+        path = self._write_csv(tmp_path)
+        text = path.read_text(encoding="utf-8").replace("0.40", "n/a")
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(DatasetError, match="bad scrape row"):
+            read_scrape_csv(path)
+
+    def test_quarantine_keeps_good_rows(self, tmp_path):
+        path = self._write_csv(tmp_path)
+        text = path.read_text(encoding="utf-8").replace("0.40", "n/a")
+        path.write_text(text, encoding="utf-8")
+        report = QuarantineReport()
+        records = load_leasing_scrapes(
+            path, policy=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert [r.provider for r in records] == ["beta"]
+        assert report.count(str(path)) == 1
+        assert report.records()[0].index == 0
+        assert report.records()[0].kind == "scrapes"
+
+    def test_clean_file_identical_between_policies(self, tmp_path):
+        path = self._write_csv(tmp_path)
+        report = QuarantineReport()
+        strict = read_scrape_csv(path)
+        lenient = read_scrape_csv(
+            path, policy=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert strict == lenient
+        assert report.count() == 0

@@ -1,0 +1,150 @@
+"""Resumable RDAP sweeps: journal replay after a crash."""
+
+import pytest
+
+from repro.delegation.rdap_extract import (
+    RdapExtractionStats,
+    extract_rdap_delegations,
+)
+from repro.ingest import SweepJournal
+from repro.netbase.prefix import parse_address
+from repro.rdap.client import RdapClient
+from repro.rdap.server import RdapServer
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+
+def inet(first, last, status, org, admin):
+    return InetnumObject(
+        first=parse_address(first),
+        last=parse_address(last),
+        netname="NET",
+        status=status,
+        org_handle=org,
+        admin_handle=admin,
+    )
+
+
+@pytest.fixture
+def database():
+    db = WhoisDatabase()
+    db.add_inetnum(inet("193.0.0.0", "193.0.255.255",
+                        InetnumStatus.ALLOCATED_PA, "ORG-LIR", "AC-LIR"))
+    for octet in range(4, 10):
+        db.add_inetnum(inet(f"193.0.{octet}.0", f"193.0.{octet}.255",
+                            InetnumStatus.ASSIGNED_PA,
+                            f"ORG-C{octet}", f"AC-C{octet}"))
+    # One intra-org pair and one sub-allocation for outcome variety.
+    db.add_inetnum(inet("193.0.10.0", "193.0.10.255",
+                        InetnumStatus.ASSIGNED_PA, "ORG-X", "AC-LIR"))
+    db.add_inetnum(inet("193.0.12.0", "193.0.15.255",
+                        InetnumStatus.SUB_ALLOCATED_PA, "ORG-SUB", "AC-SUB"))
+    return db
+
+
+def make_client(database):
+    server = RdapServer(database, rate_limit_per_second=1e6, burst=10**6)
+    return RdapClient(server, pace_seconds=0.0)
+
+
+class TestResumableSweep:
+    def test_full_run_populates_journal(self, database, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        client = make_client(database)
+        delegations = extract_rdap_delegations(
+            database.inetnums(), client, journal=journal
+        )
+        journal.close()
+        # One journal entry per queried candidate.
+        assert len(SweepJournal(journal.path)) == 8
+        assert len(delegations) == 7  # 6 customers + sub-allocation
+
+    def test_resume_skips_completed_lookups(self, database, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        inetnums = list(database.inetnums())
+
+        # Reference: one uninterrupted sweep.
+        ref_stats = RdapExtractionStats()
+        ref_client = make_client(database)
+        reference = extract_rdap_delegations(
+            inetnums, ref_client, stats=ref_stats
+        )
+
+        # First attempt "crashes" after 3 candidates (simulated by
+        # feeding only a prefix of the snapshot).
+        with SweepJournal(path) as journal:
+            first_client = make_client(database)
+            extract_rdap_delegations(
+                inetnums[:5], first_client, journal=journal
+            )
+
+        # Resume over the full snapshot with a fresh journal handle.
+        with SweepJournal(path) as journal:
+            already = len(journal)
+            assert already > 0
+            resumed_client = make_client(database)
+            stats = RdapExtractionStats()
+            resumed = extract_rdap_delegations(
+                inetnums, resumed_client, journal=journal, stats=stats
+            )
+
+        assert resumed == reference
+        assert stats.replayed == already
+        # Replayed outcomes count as queried in the stats...
+        assert stats.queried == ref_stats.queried
+        assert stats.delegations == ref_stats.delegations
+        assert stats.intra_org == ref_stats.intra_org
+        # ...but the resumed client issued strictly fewer real queries.
+        assert 0 < resumed_client.queries_sent < ref_client.queries_sent
+
+    def test_completed_journal_means_zero_queries(self, database, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        inetnums = list(database.inetnums())
+        with SweepJournal(path) as journal:
+            extract_rdap_delegations(
+                inetnums, make_client(database), journal=journal
+            )
+            reference = extract_rdap_delegations(
+                inetnums, make_client(database)
+            )
+        with SweepJournal(path) as journal:
+            client = make_client(database)
+            stats = RdapExtractionStats()
+            resumed = extract_rdap_delegations(
+                inetnums, client, journal=journal, stats=stats
+            )
+        assert client.queries_sent == 0
+        assert resumed == reference
+        assert stats.replayed == stats.queried
+
+    def test_pre_filter_stats_still_counted_on_resume(
+        self, database, tmp_path
+    ):
+        """Replay keeps the paper statistics (totals, < /24 fraction)
+        identical to an uninterrupted sweep."""
+        path = tmp_path / "sweep.jsonl"
+        tiny = inet("193.0.11.0", "193.0.11.63",
+                    InetnumStatus.ASSIGNED_PA, "ORG-T", "AC-T")
+        database.add_inetnum(tiny)
+        inetnums = list(database.inetnums())
+        ref_stats = RdapExtractionStats()
+        extract_rdap_delegations(
+            inetnums, make_client(database), stats=ref_stats
+        )
+        with SweepJournal(path) as journal:
+            extract_rdap_delegations(
+                inetnums, make_client(database), journal=journal
+            )
+        with SweepJournal(path) as journal:
+            stats = RdapExtractionStats()
+            extract_rdap_delegations(
+                inetnums, make_client(database),
+                journal=journal, stats=stats,
+            )
+        assert stats.assigned_total == ref_stats.assigned_total
+        assert stats.sub_allocated_total == ref_stats.sub_allocated_total
+        assert stats.smaller_than_24 == ref_stats.smaller_than_24
+        assert (
+            stats.assigned_smaller_than_24_fraction
+            == ref_stats.assigned_smaller_than_24_fraction
+        )

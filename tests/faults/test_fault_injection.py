@@ -1,0 +1,274 @@
+"""The deterministic fault-injection suite (``pytest -m faults``).
+
+Proves the acceptance criterion of the fault-tolerance work: with a
+fixed seed, a pipeline fed ~5 % corrupt records and a flaky RDAP
+schedule completes end-to-end, and the quarantine accounting equals
+*exactly* the number of injected faults.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import generate_all
+from repro.delegation.rdap_extract import (
+    RdapExtractionStats,
+    extract_rdap_delegations,
+)
+from repro.errors import RdapRateLimitError, RdapTimeoutError
+from repro.faults import (
+    FaultSchedule,
+    FlakyRdapServer,
+    corrupt_scrape_csv,
+    corrupt_snapshot_text,
+    corrupt_transfer_feed,
+)
+from repro.ingest import ErrorPolicy, QuarantineReport, SweepJournal
+from repro.netbase.prefix import IPv4Prefix, parse_address
+from repro.obs.metrics import MetricsRegistry
+from repro.rdap.client import RdapClient
+from repro.rdap.server import RdapServer
+from repro.simulation import World, small_scenario
+from repro.whois.database import WhoisDatabase
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+
+pytestmark = pytest.mark.faults
+
+SEED = 20200625  # the paper's RIPE snapshot date; any fixed seed works
+
+
+def inet(first, last, status, org, admin):
+    return InetnumObject(
+        first=parse_address(first),
+        last=parse_address(last),
+        netname="NET",
+        status=status,
+        org_handle=org,
+        admin_handle=admin,
+    )
+
+
+@pytest.fixture
+def database():
+    db = WhoisDatabase()
+    db.add_inetnum(inet("193.0.0.0", "193.0.255.255",
+                        InetnumStatus.ALLOCATED_PA, "ORG-LIR", "AC-LIR"))
+    for octet in range(1, 41):
+        db.add_inetnum(inet(f"193.0.{octet}.0", f"193.0.{octet}.255",
+                            InetnumStatus.ASSIGNED_PA,
+                            f"ORG-C{octet}", f"AC-C{octet}"))
+    return db
+
+
+class TestFlakyRdapServer:
+    def test_same_seed_same_schedule(self, database):
+        schedule = FaultSchedule(
+            seed=SEED, timeout_rate=0.2, throttle_rate=0.2,
+            corrupt_rate=0.1,
+        )
+        outcomes = []
+        for _ in range(2):
+            flaky = FlakyRdapServer(
+                RdapServer(database, rate_limit_per_second=1e6,
+                           burst=10**6),
+                schedule,
+            )
+            run = []
+            for octet in range(1, 41):
+                prefix = IPv4Prefix.parse(f"193.0.{octet}.0/24")
+                try:
+                    payload = flaky.lookup_ip(prefix)
+                    run.append(
+                        "corrupt" if isinstance(payload, list) else "ok"
+                    )
+                except RdapTimeoutError:
+                    run.append("timeout")
+                except RdapRateLimitError:
+                    run.append("throttle")
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert "timeout" in outcomes[0]
+        assert "throttle" in outcomes[0]
+        assert "corrupt" in outcomes[0]
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(timeout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule(timeout_rate=0.6, throttle_rate=0.6)
+
+    def test_sweep_completes_under_faults_and_accounts_exactly(
+        self, database
+    ):
+        """The flagship check: end-to-end sweep under a flaky schedule
+        completes, and quarantined == corruptions + gave-up retries."""
+        schedule = FaultSchedule(
+            seed=SEED, timeout_rate=0.1, throttle_rate=0.1,
+            corrupt_rate=0.05,
+        )
+        real = RdapServer(database, rate_limit_per_second=1e6, burst=10**6)
+        flaky = FlakyRdapServer(real, schedule)
+        metrics = MetricsRegistry()
+        client = RdapClient(
+            flaky, pace_seconds=0.0, max_retries=8,
+            max_backoff_seconds=2.0, metrics=metrics,
+        )
+        report = QuarantineReport()
+        stats = RdapExtractionStats()
+        delegations = extract_rdap_delegations(
+            database.inetnums(), client,
+            policy=ErrorPolicy.QUARANTINE, report=report, stats=stats,
+        )
+        clean = extract_rdap_delegations(
+            database.inetnums(),
+            RdapClient(
+                RdapServer(database, rate_limit_per_second=1e6,
+                           burst=10**6),
+                pace_seconds=0.0,
+            ),
+        )
+        # Completed end-to-end, losing only the quarantined blocks.
+        assert stats.quarantined == report.count()
+        assert len(delegations) + stats.quarantined >= len(clean)
+        assert set(delegations) <= set(clean)
+        # Every injected corruption and every exhausted retry chain
+        # quarantined exactly one block — nothing dropped silently.
+        gave_up = metrics.counter("rdap.gave_up")
+        assert report.kind_count("rdap") == (
+            flaky.corruptions_injected + gave_up
+        )
+        assert report.count() > 0
+
+    def test_strict_mode_still_fails_fast(self, database):
+        schedule = FaultSchedule(seed=SEED, corrupt_rate=1.0)
+        flaky = FlakyRdapServer(
+            RdapServer(database, rate_limit_per_second=1e6, burst=10**6),
+            schedule,
+        )
+        client = RdapClient(flaky, pace_seconds=0.0)
+        from repro.errors import RdapError
+
+        with pytest.raises(RdapError, match="malformed RDAP payload"):
+            extract_rdap_delegations(database.inetnums(), client)
+
+    def test_resume_after_flaky_crash(self, database, tmp_path):
+        """Journal + quarantine compose: a sweep interrupted by faults
+        resumes without re-querying its completed lookups."""
+        schedule = FaultSchedule(seed=SEED, timeout_rate=0.15)
+        flaky = FlakyRdapServer(
+            RdapServer(database, rate_limit_per_second=1e6, burst=10**6),
+            schedule,
+        )
+        client = RdapClient(
+            flaky, pace_seconds=0.0, max_retries=6,
+            max_backoff_seconds=1.0,
+        )
+        inetnums = list(database.inetnums())
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            extract_rdap_delegations(
+                inetnums[: len(inetnums) // 2], client,
+                journal=journal, policy=ErrorPolicy.QUARANTINE,
+                report=QuarantineReport(),
+            )
+        with SweepJournal(path) as journal:
+            resumed_client = RdapClient(
+                FlakyRdapServer(
+                    RdapServer(database, rate_limit_per_second=1e6,
+                               burst=10**6),
+                    FaultSchedule(seed=SEED + 1, timeout_rate=0.15),
+                ),
+                pace_seconds=0.0, max_retries=6,
+                max_backoff_seconds=1.0,
+            )
+            stats = RdapExtractionStats()
+            resumed = extract_rdap_delegations(
+                inetnums, resumed_client, journal=journal,
+                policy=ErrorPolicy.QUARANTINE,
+                report=QuarantineReport(), stats=stats,
+            )
+        clean = extract_rdap_delegations(
+            inetnums,
+            RdapClient(
+                RdapServer(database, rate_limit_per_second=1e6,
+                           burst=10**6),
+                pace_seconds=0.0,
+            ),
+        )
+        assert stats.replayed > 0
+        # Faults may quarantine some blocks, but everything that
+        # completed matches the clean sweep.
+        assert set(resumed) <= set(clean)
+        assert len(resumed) + stats.quarantined == len(clean)
+
+
+class TestCorruptDatasetEndToEnd:
+    @pytest.fixture(scope="class")
+    def dataset(self, tmp_path_factory):
+        world = World(small_scenario())
+        directory = tmp_path_factory.mktemp("faulty-dataset")
+        manifest = generate_all(
+            world, directory, include_rpki=False, collector_days=1
+        )
+        return manifest
+
+    @pytest.fixture(scope="class")
+    def corrupted(self, dataset):
+        """Corrupt ~5 % of every record-level source; returns the
+        exact number of injected faults."""
+        injected = 0
+        for path in sorted(dataset.transfer_feeds.values()):
+            with open(path, encoding="utf-8") as handle:
+                feed = json.load(handle)
+            feed, count = corrupt_transfer_feed(
+                feed, rate=0.05, seed=SEED
+            )
+            injected += count
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(feed, handle, indent=1)
+        with open(dataset.leasing_scrapes, encoding="utf-8") as handle:
+            text = handle.read()
+        text, count = corrupt_scrape_csv(text, rate=0.05, seed=SEED)
+        injected += count
+        with open(dataset.leasing_scrapes, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        with open(dataset.whois_snapshot, encoding="utf-8") as handle:
+            text = handle.read()
+        text, count = corrupt_snapshot_text(text, rate=0.05, seed=SEED)
+        injected += count
+        with open(dataset.whois_snapshot, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        assert injected > 0
+        return injected
+
+    def test_quarantine_counts_equal_injected_faults(
+        self, dataset, corrupted, tmp_path, capsys
+    ):
+        """The acceptance criterion: a degraded run completes and the
+        manifest's quarantine counts equal the injected fault count."""
+        manifest_path = tmp_path / "ingest.json"
+        code = main([
+            "ingest", dataset.root,
+            "--error-policy", "quarantine",
+            "--metrics-out", str(manifest_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "quarantine mode" in out
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        degradation = payload["degradation"]
+        assert degradation["quarantined_total"] == corrupted
+        assert sum(degradation["by_source"].values()) == corrupted
+        assert sum(degradation["by_kind"].values()) == corrupted
+        counters = payload["metrics"]["counters"]
+        assert counters["ingest.quarantined"] == corrupted
+
+    def test_strict_mode_aborts_on_corrupt_dataset(
+        self, dataset, corrupted, capsys
+    ):
+        code = main(["ingest", dataset.root])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro: error:")
+        assert len(captured.err.strip().splitlines()) == 1

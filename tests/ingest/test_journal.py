@@ -1,0 +1,65 @@
+"""Units for the append-only sweep journal."""
+
+import json
+
+from repro.ingest import SweepJournal
+
+
+class TestSweepJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("a", {"kind": "no_parent"})
+            journal.record("b", {"kind": "delegation", "child_first": 1})
+        reloaded = SweepJournal(path)
+        assert len(reloaded) == 2
+        assert "a" in reloaded
+        assert reloaded.get("b") == {"kind": "delegation", "child_first": 1}
+        assert sorted(reloaded.keys()) == ["a", "b"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "absent.jsonl")
+        assert len(journal) == 0
+        assert journal.get("a") is None
+
+    def test_flushed_per_record(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a", {"kind": "intra_org"})
+        # Readable by a second process *before* close: flushed.
+        assert "a" in SweepJournal(path)
+        journal.close()
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        """A crash mid-write leaves a partial line; resume drops it."""
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("a", {"kind": "no_parent"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "outcome": {"kind": "intra')
+        journal = SweepJournal(path)
+        assert "a" in journal
+        assert "b" not in journal
+        # The dropped key can be re-recorded cleanly.
+        journal.record("b", {"kind": "intra_org"})
+        journal.close()
+        assert SweepJournal(path).get("b") == {"kind": "intra_org"}
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("a", {"kind": "no_parent"})
+            journal.record("a", {"kind": "intra_org"})
+        assert SweepJournal(path).get("a") == {"kind": "intra_org"}
+
+    def test_ignores_non_journal_lines(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            json.dumps(["not", "a", "journal", "entry"]) + "\n"
+            + json.dumps({"key": "a", "outcome": {"kind": "no_parent"}})
+            + "\n",
+            encoding="utf-8",
+        )
+        journal = SweepJournal(path)
+        assert len(journal) == 1
+        assert "a" in journal

@@ -1,0 +1,88 @@
+"""Units for the quarantine-and-continue error policy."""
+
+import pytest
+
+from repro.ingest import ErrorPolicy, QuarantineReport
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestErrorPolicy:
+    def test_parse(self):
+        assert ErrorPolicy.parse("strict") is ErrorPolicy.STRICT
+        assert ErrorPolicy.parse(" Quarantine ") is ErrorPolicy.QUARANTINE
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ErrorPolicy.parse("lenient")
+
+
+class TestQuarantineReport:
+    def test_empty(self):
+        report = QuarantineReport()
+        assert len(report) == 0
+        assert not report
+        assert report.count() == 0
+        assert report.to_json()["quarantined_total"] == 0
+
+    def test_counts_by_source_and_kind(self):
+        report = QuarantineReport()
+        report.add("a.json", 0, "bad date", kind="transfers")
+        report.add("a.json", 3, "bad rir", kind="transfers")
+        report.add("b.csv", 1, "bad price", kind="scrapes")
+        assert report.count() == 3
+        assert report.count("a.json") == 2
+        assert report.by_source() == {"a.json": 2, "b.csv": 1}
+        assert report.by_kind() == {"transfers": 2, "scrapes": 1}
+        assert report.kind_count("scrapes") == 1
+        assert report.kind_count("rpsl") == 0
+
+    def test_detail_capped_but_counts_exact(self):
+        report = QuarantineReport(max_detail=2)
+        for index in range(5):
+            report.add("big.json", index, "bad", kind="transfers")
+        assert report.count("big.json") == 5
+        assert len(report.records()) == 2
+        payload = report.to_json()
+        assert payload["quarantined_total"] == 5
+        assert payload["by_source"]["big.json"] == 5
+        assert len(payload["records"]) == 2
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        report = QuarantineReport(metrics=metrics)
+        report.add("a", 0, "x", kind="transfers")
+        report.add("a", 1, "y", kind="rpsl")
+        assert metrics.counter("ingest.quarantined") == 2
+        assert metrics.counter("ingest.quarantined.transfers") == 1
+        assert metrics.counter("ingest.quarantined.rpsl") == 1
+
+    def test_merge(self):
+        left = QuarantineReport()
+        left.add("a", 0, "x", kind="transfers")
+        right = QuarantineReport()
+        right.add("b", 1, "y", kind="scrapes")
+        right.add("b", 2, "z", kind="scrapes")
+        left.merge(right)
+        assert left.count() == 3
+        assert left.by_source() == {"a": 1, "b": 2}
+        assert left.by_kind() == {"transfers": 1, "scrapes": 2}
+
+    def test_merge_preserves_counts_past_detail_cap(self):
+        right = QuarantineReport(max_detail=1)
+        for index in range(4):
+            right.add("b", index, "y", kind="scrapes")
+        left = QuarantineReport()
+        left.merge(right)
+        assert left.count() == 4
+        assert left.by_source() == {"b": 4}
+
+    def test_json_record_fields(self):
+        report = QuarantineReport()
+        report.add("feed.json", 7, "no ip4nets", kind="transfers")
+        record = report.to_json()["records"][0]
+        assert record == {
+            "source": "feed.json",
+            "index": 7,
+            "kind": "transfers",
+            "reason": "no ip4nets",
+        }

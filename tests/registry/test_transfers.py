@@ -180,3 +180,78 @@ class TestLedger:
             feed = json.load(handle)
         assert feed["rir"] == "RIPE NCC"
         assert len(feed["transfers"]) == 1
+
+    def test_from_feeds_keeps_mna_and_market_twins(self):
+        """Regression: the dedup key omitted the published type, so a
+        labelled M&A transfer and a market transfer with identical
+        endpoints, date, and prefixes collapsed into one record."""
+        ledger = TransferLedger()
+        make_record(ledger, true_type=TransferType.MARKET)
+        make_record(ledger, true_type=TransferType.MERGER_ACQUISITION)
+        feeds = [ledger.feed_for(rir) for rir in RIR]
+        rebuilt = TransferLedger.from_feeds(feeds)
+        assert len(rebuilt) == 2
+        types = sorted(r.true_type.value for r in rebuilt)
+        assert types == ["market", "merger-acquisition"]
+
+    def test_from_feeds_still_dedupes_inter_rir_mna(self):
+        """An inter-RIR M&A transfer appears in both endpoint feeds
+        with the same type label, so it still collapses to one."""
+        ledger = TransferLedger()
+        make_record(ledger, src_rir=RIR.ARIN, dst_rir=RIR.RIPE,
+                    true_type=TransferType.MERGER_ACQUISITION,
+                    prefix="8.0.0.0/24")
+        feeds = [ledger.feed_for(rir) for rir in RIR]
+        rebuilt = TransferLedger.from_feeds(feeds)
+        assert len(rebuilt) == 1
+
+
+class TestFromFeedsQuarantine:
+    def _feeds_with_bad_record(self):
+        ledger = TransferLedger()
+        make_record(ledger)
+        make_record(ledger, date="2020-02-02", prefix="193.0.1.0/24")
+        feed = ledger.feed_for(RIR.RIPE)
+        feed["transfers"][0].pop("ip4nets")
+        return [feed]
+
+    def test_strict_raises_with_context(self):
+        from repro.ingest import ErrorPolicy
+
+        feeds = self._feeds_with_bad_record()
+        with pytest.raises(DatasetError, match="record 0"):
+            TransferLedger.from_feeds(feeds, policy=ErrorPolicy.STRICT)
+
+    def test_strict_is_default(self):
+        with pytest.raises(DatasetError):
+            TransferLedger.from_feeds(self._feeds_with_bad_record())
+
+    def test_quarantine_continues_and_reports(self):
+        from repro.ingest import ErrorPolicy, QuarantineReport
+
+        feeds = self._feeds_with_bad_record()
+        report = QuarantineReport()
+        rebuilt = TransferLedger.from_feeds(
+            feeds,
+            policy=ErrorPolicy.QUARANTINE,
+            report=report,
+            sources=["ripe_feed.json"],
+        )
+        assert len(rebuilt) == 1
+        assert report.count() == 1
+        entry = report.records()[0]
+        assert entry.source == "ripe_feed.json"
+        assert entry.index == 0
+        assert entry.kind == "transfers"
+
+    def test_quarantine_non_list_transfers(self):
+        from repro.ingest import ErrorPolicy, QuarantineReport
+
+        report = QuarantineReport()
+        rebuilt = TransferLedger.from_feeds(
+            [{"rir": "RIPE NCC", "transfers": "oops"}],
+            policy=ErrorPolicy.QUARANTINE,
+            report=report,
+        )
+        assert len(rebuilt) == 0
+        assert report.count("RIPE NCC") == 1

@@ -1,0 +1,133 @@
+"""Malformed-RPSL handling in both strict and quarantine modes."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.ingest import ErrorPolicy, QuarantineReport
+from repro.whois.snapshot import (
+    parse_snapshot,
+    read_snapshot_file,
+    render_snapshot,
+)
+from repro.netbase.prefix import parse_address
+from repro.whois.inetnum import InetnumObject, InetnumStatus
+from repro.whois.snapshot import _parse_block
+
+GOOD_BLOCK = """\
+inetnum:        193.0.4.0 - 193.0.4.255
+netname:        GOOD-NET
+status:         ASSIGNED PA
+org:            ORG-A
+admin-c:        AC-1
+source:         RIPE"""
+
+MISSING_COLON = """\
+inetnum         193.0.5.0 - 193.0.5.255
+netname:        BAD-NET
+status:         ASSIGNED PA"""
+
+UNKNOWN_STATUS = """\
+inetnum:        193.0.6.0 - 193.0.6.255
+netname:        BAD-STATUS
+status:         TOTALLY BOGUS
+org:            ORG-B
+admin-c:        AC-2"""
+
+TRUNCATED = """\
+netname:        NO-RANGE
+status:         ASSIGNED PA"""
+
+
+class TestParseBlockStrict:
+    def test_good_block(self):
+        obj = _parse_block(GOOD_BLOCK)
+        assert obj.netname == "GOOD-NET"
+        assert obj.status is InetnumStatus.ASSIGNED_PA
+
+    def test_missing_colon_line(self):
+        with pytest.raises(DatasetError, match="malformed RPSL line"):
+            _parse_block(MISSING_COLON)
+
+    def test_unknown_status(self):
+        with pytest.raises(DatasetError, match="bad inetnum block"):
+            _parse_block(UNKNOWN_STATUS)
+
+    def test_truncated_block_missing_inetnum(self):
+        with pytest.raises(DatasetError, match="missing"):
+            _parse_block(TRUNCATED)
+
+    def test_bad_address_wrapped(self):
+        block = GOOD_BLOCK.replace(
+            "193.0.4.0 - 193.0.4.255", "193.0.4.0 - not.an.address"
+        )
+        with pytest.raises(DatasetError):
+            _parse_block(block)
+
+
+def _snapshot(*blocks):
+    return "\n\n".join(blocks) + "\n"
+
+
+class TestParseSnapshotPolicies:
+    def test_strict_default_aborts_on_first_bad_block(self):
+        text = _snapshot(GOOD_BLOCK, MISSING_COLON, GOOD_BLOCK)
+        with pytest.raises(DatasetError):
+            list(parse_snapshot(text))
+
+    def test_quarantine_keeps_good_blocks(self):
+        text = _snapshot(
+            GOOD_BLOCK, MISSING_COLON, UNKNOWN_STATUS, TRUNCATED
+        )
+        report = QuarantineReport()
+        objects = list(
+            parse_snapshot(
+                text,
+                policy=ErrorPolicy.QUARANTINE,
+                report=report,
+                source="ripe.db.inetnum",
+            )
+        )
+        assert [o.netname for o in objects] == ["GOOD-NET"]
+        assert report.count("ripe.db.inetnum") == 3
+        indices = [r.index for r in report.records()]
+        assert indices == [1, 2, 3]
+        assert all(r.kind == "rpsl" for r in report.records())
+
+    def test_quarantine_without_report_still_continues(self):
+        text = _snapshot(MISSING_COLON, GOOD_BLOCK)
+        objects = list(
+            parse_snapshot(text, policy=ErrorPolicy.QUARANTINE)
+        )
+        assert len(objects) == 1
+
+    def test_round_trip_unaffected(self):
+        obj = InetnumObject(
+            first=parse_address("193.0.4.0"),
+            last=parse_address("193.0.4.255"),
+            netname="NET",
+            status=InetnumStatus.ASSIGNED_PA,
+            org_handle="ORG-A",
+            admin_handle="AC-1",
+        )
+        text = render_snapshot([obj])
+        strict = list(parse_snapshot(text))
+        lenient = list(
+            parse_snapshot(text, policy=ErrorPolicy.QUARANTINE)
+        )
+        assert strict == lenient
+
+    def test_read_snapshot_file_quarantine(self, tmp_path):
+        path = tmp_path / "ripe.db.inetnum"
+        path.write_text(
+            _snapshot(GOOD_BLOCK, UNKNOWN_STATUS), encoding="utf-8"
+        )
+        report = QuarantineReport()
+        objects = read_snapshot_file(
+            path, policy=ErrorPolicy.QUARANTINE, report=report
+        )
+        assert len(objects) == 1
+        assert report.count(str(path)) == 1
+
+    def test_read_snapshot_file_missing_named(self, tmp_path):
+        with pytest.raises(DatasetError, match="absent"):
+            read_snapshot_file(tmp_path / "absent")
