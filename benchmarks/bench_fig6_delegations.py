@@ -26,7 +26,7 @@ from repro.delegation import (
     run_inference,
     write_daily_delegations,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TracingRegistry, load_trace
 
 
 def _series_stats(result):
@@ -96,13 +96,21 @@ def test_fig6_delegations(benchmark, world, record_result, tmp_path):
         assert registry.counter("runner.cache.hits") == \
             registry.counter("runner.days_total")
 
+        # Full tracing on the warm path: every span lands on the
+        # timeline and the workers' lanes fan back into the parent.
+        tracing = TracingRegistry(lane="main")
+        traced, timings["warm_traced"] = warm_run(tracing)
+        timings["trace_events"] = len(tracing.trace)
+        tracing.trace.write(tmp_path / "warm.trace.json")
+
         base_result = run_inference(
             factory, config.bgp_start, config.bgp_end,
             InferenceConfig.baseline(), jobs=jobs, cache_dir=cache_dir,
         )
-        return sequential, ext_result, warm, instrumented, base_result
+        return (sequential, ext_result, warm, instrumented, traced,
+                base_result)
 
-    sequential, ext_result, warm, instrumented, base_result = \
+    sequential, ext_result, warm, instrumented, traced, base_result = \
         benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     # The runner must reproduce the sequential pipeline byte for byte.
@@ -114,6 +122,13 @@ def test_fig6_delegations(benchmark, world, record_result, tmp_path):
     # ... at under 5 % overhead on the warm-cache path.
     overhead = timings["warm_metered"] / timings["warm_plain"] - 1.0
     assert overhead < 0.05, f"instrumentation overhead {overhead:.1%}"
+    # Tracing, too, is inert — and the Chrome export round-trips.
+    assert _daily_bytes(traced, tmp_path / "traced.jsonl") == seq_bytes
+    assert timings["trace_events"] > 0
+    exported = load_trace(tmp_path / "warm.trace.json")
+    assert len([
+        e for e in exported["traceEvents"] if e.get("ph") == "X"
+    ]) == timings["trace_events"]
 
     # The second run is a pure cache read ...
     assert warm.runner_stats.days_computed == 0
@@ -178,6 +193,9 @@ def test_fig6_delegations(benchmark, world, record_result, tmp_path):
                  f"{(timings['warm_metered'] / timings['warm_plain'] - 1):+.1%} "
                  f"({timings['warm_plain']:.3f}s -> "
                  f"{timings['warm_metered']:.3f}s)"],
+                ["traced warm run", "byte-identical output",
+                 f"{timings['warm_traced']:.3f}s, "
+                 f"{timings['trace_events']} trace events"],
             ],
         ),
     )

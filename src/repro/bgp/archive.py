@@ -156,11 +156,17 @@ class ArchiveWindowReader:
         if not path.exists():
             return None
         records = []
-        with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    records.append(RouteRecord.from_json(json.loads(line)))
+        # One span per RIB file: snapshot parsing dominates archive
+        # replay, so traces show exactly which file a slow day spent
+        # its time in (free on the no-op registry).
+        with self._metrics.span("archive.read_rib"):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        records.append(
+                            RouteRecord.from_json(json.loads(line))
+                        )
         self._metrics.inc("archive.rib_records_read", len(records))
         self._metrics.inc("archive.rib_files_read")
         return records

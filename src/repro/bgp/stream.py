@@ -119,12 +119,23 @@ class RouteStream:
         per-monitor record materialization); archive-backed streams
         aggregate the stored records.
         """
-        if self._source is not None:
-            pairs = self._system.pair_counts_for_day(self._source(date))
-        else:
-            pairs = prefix_origin_pairs(self.records_on(date))
-        if self._metrics.enabled:
-            self._metrics.inc("stream.pairs_aggregated", len(pairs))
+        if not self._metrics.enabled:
+            if self._source is not None:
+                return self._system.pair_counts_for_day(
+                    self._source(date)
+                )
+            return prefix_origin_pairs(self.records_on(date))
+        # Instrumented path: the aggregation appears as its own span,
+        # so traces show how much of each day went to reading routes
+        # versus running the inference filters.
+        with self._metrics.span("stream.pairs_on"):
+            if self._source is not None:
+                pairs = self._system.pair_counts_for_day(
+                    self._source(date)
+                )
+            else:
+                pairs = prefix_origin_pairs(self.records_on(date))
+        self._metrics.inc("stream.pairs_aggregated", len(pairs))
         return pairs
 
     def pairs_for_days(

@@ -11,10 +11,20 @@ The subcommands cover the library's main entry points::
     python -m repro manifest m.json  # pretty-print a run manifest
 
 All commands accept ``--seed`` and ``--scale {small,paper}``; output
-is plain text on stdout.  ``infer``, ``figures``, and ``market``
-additionally accept ``--metrics-out PATH`` to write a run manifest
-(config hash, input fingerprints, per-stage attrition, cache and
-timing accounting) as one JSON artifact.
+is plain text on stdout.  ``infer``, ``figures``, ``market``, and
+``ingest`` additionally accept the observability flags:
+
+- ``--metrics-out PATH`` — write a run manifest (config hash, input
+  fingerprints, per-stage attrition, cache and timing accounting),
+- ``--trace-out PATH`` — write a Chrome trace-event timeline (open in
+  Perfetto / ``chrome://tracing``, or summarize with
+  ``repro trace summarize PATH``),
+- ``--profile-mem`` — add per-stage ``tracemalloc`` peak gauges
+  (``profile.*`` in the manifest), workers included.
+
+``repro history record/list/diff/check`` turns recorded manifests
+into an append-only regression history; ``check`` exits 1 when a
+stage timing regresses past ``--max-regress``.
 
 Errors deriving from :class:`~repro.errors.ReproError` (bad flags,
 unwritable paths, broken inputs) exit with status 2 and a one-line
@@ -46,13 +56,22 @@ from repro.errors import ReproError
 from repro.market.amortization import AmortizationScenario
 from repro.market.leasing import FIRST_SCRAPE, SECOND_WAVE
 from repro.obs import (
+    DEFAULT_HISTORY_PATH,
     NULL,
     MetricsRegistry,
+    RunHistory,
     RunManifest,
+    TracingRegistry,
     config_hash,
     load_manifest,
+    load_trace,
+    parse_percent,
+    render_diff,
+    render_list,
     render_manifest,
+    summarize_trace,
 )
+from repro.obs.history import DEFAULT_MIN_SECONDS
 from repro.registry.rir import RIR
 from repro.simulation import World, paper_scenario, small_scenario
 
@@ -82,30 +101,62 @@ def _check_runner_flags(args: argparse.Namespace) -> None:
             ) from exc
         if not os.access(path, os.W_OK):
             raise ReproError(f"--cache-dir: {path} is not writable")
-    _check_metrics_out(args)
+    _check_obs_flags(args)
 
 
-def _check_metrics_out(args: argparse.Namespace) -> None:
-    target = getattr(args, "metrics_out", None)
+def _check_out_path(target: Optional[str], flag: str) -> None:
+    """Fail fast on an unusable output-file path for ``flag``.
+
+    One validator for every artifact-writing flag (``--metrics-out``,
+    ``--trace-out``): directory targets, missing or unwritable
+    parents all exit 2 with a one-line message before any work runs.
+    """
     if target is None:
         return
     path = pathlib.Path(target)
     if path.is_dir():
-        raise ReproError(f"--metrics-out: {path} is a directory")
+        raise ReproError(f"{flag}: {path} is a directory")
     parent = path.parent if str(path.parent) else pathlib.Path(".")
     if not parent.is_dir():
-        raise ReproError(
-            f"--metrics-out: directory {parent} does not exist"
-        )
+        raise ReproError(f"{flag}: directory {parent} does not exist")
     if not os.access(parent, os.W_OK):
-        raise ReproError(f"--metrics-out: {parent} is not writable")
+        raise ReproError(f"{flag}: {parent} is not writable")
+
+
+def _check_obs_flags(args: argparse.Namespace) -> None:
+    _check_out_path(getattr(args, "metrics_out", None), "--metrics-out")
+    _check_out_path(getattr(args, "trace_out", None), "--trace-out")
 
 
 def _registry_for(args: argparse.Namespace) -> MetricsRegistry:
-    """A real registry with ``--metrics-out``, the no-op one without."""
-    if getattr(args, "metrics_out", None) is not None:
-        return MetricsRegistry()
-    return NULL
+    """The registry matching the run's observability flags.
+
+    - no flags → the shared no-op :data:`NULL` registry (byte-identical
+      output, ~zero overhead),
+    - ``--metrics-out`` / ``--profile-mem`` → a real registry,
+    - ``--trace-out`` → a :class:`TracingRegistry` on the ``main``
+      lane (worker lanes fan in through the runner),
+    - ``--profile-mem`` additionally turns on per-span peak gauges.
+    """
+    wants_trace = getattr(args, "trace_out", None) is not None
+    wants_profile = getattr(args, "profile_mem", False)
+    wants_metrics = getattr(args, "metrics_out", None) is not None
+    if wants_trace:
+        registry: MetricsRegistry = TracingRegistry(lane="main")
+    elif wants_metrics or wants_profile:
+        registry = MetricsRegistry()
+    else:
+        return NULL
+    if wants_profile:
+        registry.enable_memory_profile()
+    return registry
+
+
+def _write_trace(args: argparse.Namespace, metrics: MetricsRegistry) -> None:
+    """Write the ``--trace-out`` artifact when the flag was given."""
+    target = getattr(args, "trace_out", None)
+    if target is not None:
+        metrics.trace.write(target)
 
 
 # -- manifest assembly ----------------------------------------------------
@@ -216,7 +267,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     )
     from repro.ingest import ErrorPolicy, QuarantineReport
 
-    _check_metrics_out(args)
+    _check_obs_flags(args)
     policy = ErrorPolicy.parse(args.error_policy)
     metrics = _registry_for(args)
     report = QuarantineReport(metrics=metrics)
@@ -224,15 +275,18 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if not base.is_dir():
         raise ReproError(f"no dataset directory at {base}")
 
-    ledger = load_transfer_ledger(
-        base / "transfers", policy=policy, report=report
-    )
-    scrapes = load_leasing_scrapes(
-        base / "leasing" / "scrapes.csv", policy=policy, report=report
-    )
-    whois = load_whois_snapshot(
-        base / "whois" / "ripe.db.inetnum", policy=policy, report=report
-    )
+    with metrics.span("ingest.transfers"):
+        ledger = load_transfer_ledger(
+            base / "transfers", policy=policy, report=report
+        )
+    with metrics.span("ingest.scrapes"):
+        scrapes = load_leasing_scrapes(
+            base / "leasing" / "scrapes.csv", policy=policy, report=report
+        )
+    with metrics.span("ingest.whois"):
+        whois = load_whois_snapshot(
+            base / "whois" / "ripe.db.inetnum", policy=policy, report=report
+        )
     loaded = {
         "transfers": (len(ledger), "transfers"),
         "leasing scrapes": (len(scrapes), "scrapes"),
@@ -241,6 +295,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if metrics.enabled:
         for name, (count, _kind) in loaded.items():
             metrics.inc(f"ingest.loaded.{name.replace(' ', '_')}", count)
+    if args.metrics_out is not None:
         manifest = RunManifest(command="ingest", metrics=metrics)
         manifest.extra["directory"] = str(base)
         manifest.extra["error_policy"] = policy.value
@@ -252,6 +307,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 dropped={"quarantined": dropped} if dropped else None,
             )
         manifest.write(args.metrics_out)
+    _write_trace(args, metrics)
     rows = [[name, count] for name, (count, _kind) in loaded.items()]
     rows.append(["quarantined records", report.count()])
     print(render_table(
@@ -296,10 +352,11 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         metrics=metrics,
     )
-    if metrics.enabled:
+    if args.metrics_out is not None:
         _write_infer_manifest(
             args, "infer", config, factory, world, [result], metrics
         )
+    _write_trace(args, metrics)
     rows = [
         [date, count, result.daily.addresses_on(date)]
         for date, count in result.counts_series()
@@ -318,7 +375,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_market(args: argparse.Namespace) -> int:
-    _check_metrics_out(args)
+    _check_obs_flags(args)
     world = _build_world(args)
     metrics = _registry_for(args)
     with metrics.span("market.prices"):
@@ -338,6 +395,7 @@ def _cmd_market(args: argparse.Namespace) -> int:
     if metrics.enabled:
         metrics.inc("market.priced_transactions", len(dataset))
         metrics.inc("market.leasing_providers", leasing.provider_count)
+    if args.metrics_out is not None:
         manifest = RunManifest(
             command="market",
             config_digest=config_hash(world.config),
@@ -349,6 +407,7 @@ def _cmd_market(args: argparse.Namespace) -> int:
         manifest.extra["scale"] = args.scale
         manifest.extra["seed"] = args.seed
         manifest.write(args.metrics_out)
+    _write_trace(args, metrics)
     rows = [
         ["priced transactions", len(dataset)],
         ["mean 2020 price ($/IP)", f"{mean_2020:.2f}"],
@@ -478,7 +537,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 base / "fig6_runner.csv", metrics=metrics,
             )
         )
-    if metrics.enabled:
+    if args.metrics_out is not None:
         # One registry audits the whole export: the pipeline counters
         # sum the extended and baseline inference runs.
         manifest = RunManifest(
@@ -500,6 +559,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         manifest.extra["seed"] = args.seed
         manifest.extra["files_written"] = written
         manifest.write(args.metrics_out)
+    _write_trace(args, metrics)
     for path in written:
         print(path)
     return 0
@@ -508,6 +568,47 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_manifest(args: argparse.Namespace) -> int:
     print(render_manifest(load_manifest(args.path)))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace summarize PATH`` — offline trace analysis."""
+    if args.trace_command == "summarize":
+        print(summarize_trace(load_trace(args.path), top=args.top))
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """``repro history record/list/diff/check`` — cross-run tracking."""
+    history = RunHistory(args.history)
+    sub = args.history_command
+    if sub == "record":
+        entry = history.record(load_manifest(args.manifest))
+        digest = (entry.get("config_hash") or "")[:12] or "-"
+        print(
+            f"recorded run {entry['id']} "
+            f"({entry['command']}, config {digest}) in {history.path}"
+        )
+        return 0
+    if sub == "list":
+        print(render_list(history.entries()))
+        return 0
+    if sub == "diff":
+        print(history.diff(args.baseline, args.candidate))
+        return 0
+    # check: exit 1 when the candidate regressed past --max-regress.
+    regressions = history.check(
+        args.baseline,
+        args.candidate,
+        max_regress=parse_percent(args.max_regress),
+        min_seconds=args.min_seconds,
+    )
+    if not regressions:
+        print("history check: no regressions")
+        return 0
+    print(f"history check: {len(regressions)} regression(s)")
+    for line in regressions:
+        print(f"  - {line}")
+    return 1
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -521,15 +622,27 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="cache per-day inference results under DIR; re-runs with "
              "an unchanged configuration become near-instant",
     )
-    _add_metrics_argument(parser)
+    _add_obs_arguments(parser)
 
 
-def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flag trio, shared by every pipeline command."""
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write a run manifest (config hash, input fingerprints, "
              "per-stage attrition, cache and timing accounting) as "
              "JSON to PATH; inspect it with `repro manifest PATH`",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event timeline (all spans, worker "
+             "lanes included) to PATH; open in Perfetto or summarize "
+             "with `repro trace summarize PATH`",
+    )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="track tracemalloc peak memory per stage; peaks appear "
+             "as profile.* gauges in the --metrics-out manifest",
     )
 
 
@@ -569,7 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict: first malformed record aborts (default); "
              "quarantine: set bad records aside and keep loading",
     )
-    _add_metrics_argument(ingest)
+    _add_obs_arguments(ingest)
     ingest.set_defaults(handler=_cmd_ingest)
 
     infer = commands.add_parser(
@@ -584,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     infer.set_defaults(handler=_cmd_infer)
 
     market = commands.add_parser("market", help="print the market report")
-    _add_metrics_argument(market)
+    _add_obs_arguments(market)
     market.set_defaults(handler=_cmd_market)
 
     manifest = commands.add_parser(
@@ -608,6 +721,72 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("prefix_length", type=int, nargs="?", default=24)
     advise.add_argument("horizon_years", type=float, nargs="?", default=3.0)
     advise.set_defaults(handler=_cmd_advise)
+
+    trace = commands.add_parser(
+        "trace", help="analyze a --trace-out timeline offline"
+    )
+    trace_commands = trace.add_subparsers(
+        dest="trace_command", required=True
+    )
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="critical path, per-lane utilization, slowest spans",
+    )
+    summarize.add_argument("path")
+    summarize.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest spans to show (default 10)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    history = commands.add_parser(
+        "history",
+        help="record manifests into an append-only run history and "
+             "diff / regression-check runs against each other",
+    )
+    history.add_argument(
+        "--history", default=DEFAULT_HISTORY_PATH, metavar="PATH",
+        help=f"history store (default {DEFAULT_HISTORY_PATH})",
+    )
+    history_commands = history.add_subparsers(
+        dest="history_command", required=True
+    )
+    record = history_commands.add_parser(
+        "record", help="append one --metrics-out manifest as a run"
+    )
+    record.add_argument("manifest", help="manifest JSON to record")
+    history_commands.add_parser(
+        "list", help="show every recorded run"
+    )
+    diff = history_commands.add_parser(
+        "diff", help="compare two recorded runs"
+    )
+    diff.add_argument("baseline", type=int, help="baseline run id")
+    diff.add_argument("candidate", type=int, help="candidate run id")
+    check = history_commands.add_parser(
+        "check",
+        help="exit 1 if the candidate regressed past --max-regress",
+    )
+    check.add_argument(
+        "--baseline", type=int, required=True, metavar="ID",
+        help="baseline run id",
+    )
+    check.add_argument(
+        "--candidate", type=int, default=None, metavar="ID",
+        help="candidate run id (default: the latest run)",
+    )
+    check.add_argument(
+        "--max-regress", default="20%", metavar="PCT",
+        help="tolerated timing slowdown, e.g. '20%%' or 0.2 "
+             "(default 20%%)",
+    )
+    check.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        metavar="S",
+        help="ignore timers faster than S seconds in the baseline "
+             f"(default {DEFAULT_MIN_SECONDS})",
+    )
+    history.set_defaults(handler=_cmd_history)
 
     return parser
 

@@ -31,6 +31,7 @@ from repro.errors import RdapError, ReproError
 from repro.ingest.journal import SweepJournal
 from repro.ingest.quarantine import ErrorPolicy, QuarantineReport
 from repro.netbase.prefix import IPv4Prefix
+from repro.obs.metrics import NULL, MetricsRegistry
 from repro.rdap.client import RdapClient
 from repro.whois.inetnum import InetnumObject, InetnumStatus
 
@@ -66,6 +67,7 @@ def extract_rdap_delegations(
     journal: Optional[SweepJournal] = None,
     policy: ErrorPolicy = ErrorPolicy.STRICT,
     report: Optional[QuarantineReport] = None,
+    metrics: MetricsRegistry = NULL,
 ) -> List[RdapDelegation]:
     """Run the §4 RDAP pipeline over snapshot ``inetnums``.
 
@@ -78,6 +80,11 @@ def extract_rdap_delegations(
     ``stats`` exactly as a live lookup, so a resumed sweep's stats and
     delegations match an uninterrupted one — without touching the
     client.
+
+    ``metrics`` (no-op default) records one ``rdap.sweep.lookup``
+    timing per live query — against a throttled endpoint the sweep is
+    the §4 pipeline's long pole, and per-lookup spans make the
+    backoff stalls visible on the ``--trace-out`` timeline.
     """
     if stats is None:
         stats = RdapExtractionStats()
@@ -85,66 +92,76 @@ def extract_rdap_delegations(
     # so intra-org checks reuse queries instead of re-asking.
     parent_entities: Dict[str, Dict[str, str]] = {}
     delegations: List[RdapDelegation] = []
-    for index, obj in enumerate(inetnums):
-        if obj.status is InetnumStatus.SUB_ALLOCATED_PA:
-            stats.sub_allocated_total += 1
-        elif obj.status is InetnumStatus.ASSIGNED_PA:
-            stats.assigned_total += 1
-            if obj.smaller_than(min_block_length):
+    with metrics.span("rdap.sweep"):
+        for index, obj in enumerate(inetnums):
+            if obj.status is InetnumStatus.SUB_ALLOCATED_PA:
+                stats.sub_allocated_total += 1
+            elif obj.status is InetnumStatus.ASSIGNED_PA:
+                stats.assigned_total += 1
+                if obj.smaller_than(min_block_length):
+                    stats.smaller_than_24 += 1
+                    continue
+            else:
+                continue
+            if obj.status is InetnumStatus.SUB_ALLOCATED_PA and (
+                obj.smaller_than(min_block_length)
+            ):
                 stats.smaller_than_24 += 1
                 continue
-        else:
-            continue
-        if obj.status is InetnumStatus.SUB_ALLOCATED_PA and obj.smaller_than(
-            min_block_length
-        ):
-            stats.smaller_than_24 += 1
-            continue
 
-        key = obj.range_text()
-        if journal is not None and key in journal:
-            stats.replayed += 1
-            _replay_outcome(journal.get(key) or {}, stats, delegations)
-            continue
-
-        stats.queried += 1
-        try:
-            kind, delegation = _process_candidate(
-                obj, client, parent_entities
-            )
-        except RdapError as exc:
-            # The client exhausted its retries (persistent throttling
-            # or timeouts).  Not journaled: a resume retries the block.
-            if policy is ErrorPolicy.STRICT:
-                raise
-            stats.quarantined += 1
-            if report is not None:
-                report.add("rdap", index, f"{key}: {exc}", kind="rdap")
-            continue
-        except (AttributeError, KeyError, TypeError, ValueError) as exc:
-            # Structurally malformed RDAP payload.
-            if policy is ErrorPolicy.STRICT:
-                raise RdapError(
-                    f"malformed RDAP payload for {key}: {exc}"
-                ) from exc
-            stats.quarantined += 1
-            if report is not None:
-                report.add(
-                    "rdap", index,
-                    f"{key}: malformed payload: {exc}", kind="rdap",
+            key = obj.range_text()
+            if journal is not None and key in journal:
+                stats.replayed += 1
+                _replay_outcome(
+                    journal.get(key) or {}, stats, delegations
                 )
-            continue
+                continue
 
-        if kind == "no_parent":
-            stats.no_parent += 1
-        elif kind == "intra_org":
-            stats.intra_org += 1
-        else:
-            stats.delegations += 1
-            assert delegation is not None
-            delegations.append(delegation)
-        if journal is not None:
-            journal.record(key, _outcome_json(kind, delegation))
+            stats.queried += 1
+            try:
+                # Nested span: records under ``rdap.sweep.lookup``,
+                # with the ``.failed`` counter marking quarantined
+                # lookups on the timeline.
+                with metrics.span("lookup"):
+                    kind, delegation = _process_candidate(
+                        obj, client, parent_entities
+                    )
+            except RdapError as exc:
+                # The client exhausted its retries (persistent
+                # throttling or timeouts).  Not journaled: a resume
+                # retries the block.
+                if policy is ErrorPolicy.STRICT:
+                    raise
+                stats.quarantined += 1
+                if report is not None:
+                    report.add(
+                        "rdap", index, f"{key}: {exc}", kind="rdap"
+                    )
+                continue
+            except (AttributeError, KeyError, TypeError, ValueError) as exc:
+                # Structurally malformed RDAP payload.
+                if policy is ErrorPolicy.STRICT:
+                    raise RdapError(
+                        f"malformed RDAP payload for {key}: {exc}"
+                    ) from exc
+                stats.quarantined += 1
+                if report is not None:
+                    report.add(
+                        "rdap", index,
+                        f"{key}: malformed payload: {exc}", kind="rdap",
+                    )
+                continue
+
+            if kind == "no_parent":
+                stats.no_parent += 1
+            elif kind == "intra_org":
+                stats.intra_org += 1
+            else:
+                stats.delegations += 1
+                assert delegation is not None
+                delegations.append(delegation)
+            if journal is not None:
+                journal.record(key, _outcome_json(kind, delegation))
     return delegations
 
 

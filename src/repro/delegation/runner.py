@@ -258,6 +258,8 @@ def _init_worker(
     config: InferenceConfig,
     as2org: Optional[As2OrgDataset],
     instrument: bool = False,
+    trace: bool = False,
+    profile: bool = False,
 ) -> None:
     """Pool initializer: runs once per worker process.
 
@@ -266,13 +268,39 @@ def _init_worker(
     the first chunk so that pool start-up stays cheap.  When
     ``instrument`` is set, each chunk records into a fresh
     :class:`MetricsRegistry` that is shipped back with its payloads
-    and merged in the parent (registries are picklable by design).
+    and merged in the parent (registries are picklable by design);
+    ``trace`` upgrades it to a :class:`~repro.obs.trace.
+    TracingRegistry` on a per-worker lane, ``profile`` adds
+    ``tracemalloc`` peak gauges.
     """
     _WORKER_STATE.clear()
     _WORKER_STATE["factory"] = factory
     _WORKER_STATE["config"] = config
     _WORKER_STATE["as2org"] = as2org
     _WORKER_STATE["instrument"] = instrument
+    _WORKER_STATE["trace"] = trace
+    _WORKER_STATE["profile"] = profile
+
+
+def _worker_registry() -> MetricsRegistry:
+    """A fresh per-chunk registry matching the parent's capabilities.
+
+    Tracing workers record onto their own lane (``worker-<pid>``), so
+    the merged timeline shows which process ran which days; the lane
+    is stable for the worker's lifetime while each chunk still ships
+    an independent registry back for the order-insensitive fan-in.
+    """
+    if _WORKER_STATE.get("trace"):
+        from repro.obs.trace import TracingRegistry
+
+        registry: MetricsRegistry = TracingRegistry(
+            lane=f"worker-{os.getpid()}"
+        )
+    else:
+        registry = MetricsRegistry()
+    if _WORKER_STATE.get("profile"):
+        registry.enable_memory_profile()
+    return registry
 
 
 def _worker_run_chunk(
@@ -298,18 +326,19 @@ def _worker_run_chunk(
             _compute_day_payload(stream, inference, total_monitors, date)
             for date in dates
         ], None
-    registry = MetricsRegistry()
+    registry = _worker_registry()
     if hasattr(stream, "set_metrics"):
         stream.set_metrics(registry)
     payloads = []
     for date in dates:
-        started = time.perf_counter()
-        payloads.append(
-            _compute_day_payload(stream, inference, total_monitors, date)
-        )
-        registry.observe(
-            "runner.compute.day", time.perf_counter() - started
-        )
+        # A span (not a bare observe) so the same per-day timing also
+        # lands on the trace timeline and in the profile gauges; the
+        # worker's span stack is empty, so the timer keeps its
+        # historical name.
+        with registry.span("runner.compute.day"):
+            payloads.append(_compute_day_payload(
+                stream, inference, total_monitors, date
+            ))
     registry.inc("runner.chunks")
     return payloads, registry
 
@@ -512,7 +541,14 @@ def _compute_parallel(
     executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(stream_factory, config, as2org, metrics.enabled),
+        initargs=(
+            stream_factory, config, as2org, metrics.enabled,
+            # Workers mirror the parent's capabilities: a tracing
+            # parent gets per-lane worker traces, a profiling parent
+            # gets worker-side peak gauges (max-merged at fan-in).
+            getattr(metrics, "trace", None) is not None,
+            metrics.memory_profiling,
+        ),
     )
     try:
         futures = [

@@ -20,6 +20,7 @@ import pathlib
 from typing import Dict, Iterator, Optional, Union
 
 from repro.errors import DatasetError
+from repro.obs.metrics import NULL, MetricsRegistry
 
 PathLike = Union[str, pathlib.Path]
 
@@ -30,13 +31,23 @@ class SweepJournal:
     ``outcome`` values are JSON-serializable dicts.  Recording a key
     twice keeps the latest outcome (last line wins on load, matching
     append order).
+
+    ``metrics`` (no-op default) counts ``journal.entries_loaded`` —
+    the outcomes a resume starts from — and ``journal.records_appended``
+    per durable write, so manifests show how much of a sweep was
+    replayed versus re-queried.
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike, *, metrics: MetricsRegistry = NULL):
         self._path = pathlib.Path(path)
         self._entries: Dict[str, dict] = {}
         self._handle = None
+        self._metrics = metrics
         self._load()
+        if self._entries:
+            self._metrics.inc(
+                "journal.entries_loaded", len(self._entries)
+            )
 
     def _load(self) -> None:
         if not self._path.exists():
@@ -99,6 +110,7 @@ class SweepJournal:
         )
         self._handle.flush()
         self._entries[key] = outcome
+        self._metrics.inc("journal.records_appended")
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,14 +1,34 @@
-"""Pipeline observability: metrics, stage spans, and run manifests.
+"""Pipeline observability: metrics, traces, profiles, manifests, history.
 
 - :mod:`~repro.obs.metrics` — picklable, mergeable
   :class:`MetricsRegistry` (counters / gauges / timers), nestable
   stage :class:`Span` timings, and the shared no-op :data:`NULL`
   registry every instrumented path defaults to,
+- :mod:`~repro.obs.trace` — per-span timeline events
+  (:class:`TraceBuffer` / :class:`TracingRegistry`) exported as
+  Chrome trace-event JSON (``--trace-out``, Perfetto-loadable) with a
+  terminal summarizer,
+- :mod:`~repro.obs.profile` — opt-in ``tracemalloc``-backed per-stage
+  peak-memory gauges (``--profile-mem`` → ``profile.*`` in the
+  manifest),
 - :mod:`~repro.obs.manifest` — the :class:`RunManifest` JSON artifact
   (config hash, input fingerprints, per-stage attrition, cache
-  accounting, timings) plus its loader and pretty-printer.
+  accounting, timings) plus its loader and pretty-printer,
+- :mod:`~repro.obs.history` — the append-only :class:`RunHistory`
+  store turning recorded manifests into regression baselines
+  (``repro history record/list/diff/check``).
 """
 
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA,
+    RunHistory,
+    find_regressions,
+    parse_percent,
+    render_diff,
+    render_list,
+    summarize_manifest,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -24,17 +44,39 @@ from repro.obs.metrics import (
     Span,
     TimerStats,
 )
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceBuffer,
+    TraceEvent,
+    TracingRegistry,
+    load_trace,
+    summarize_trace,
+)
 
 __all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "NULL",
     "NullRegistry",
+    "RunHistory",
     "RunManifest",
     "Span",
     "StageRecord",
+    "TRACE_SCHEMA",
     "TimerStats",
+    "TraceBuffer",
+    "TraceEvent",
+    "TracingRegistry",
     "config_hash",
+    "find_regressions",
     "load_manifest",
+    "load_trace",
+    "parse_percent",
+    "render_diff",
+    "render_list",
     "render_manifest",
+    "summarize_manifest",
+    "summarize_trace",
 ]

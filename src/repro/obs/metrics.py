@@ -42,6 +42,18 @@ class TimerStats:
             self.max_seconds = seconds
 
     def merge(self, other: "TimerStats") -> None:
+        # Normalize empty timers here instead of at serialization time:
+        # a count == 0 side carries the ``min_seconds = inf`` sentinel,
+        # which must never survive into a merged timer (it would leak
+        # into JSON as the non-standard ``Infinity`` token).
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total_seconds = other.total_seconds
+            self.min_seconds = other.min_seconds
+            self.max_seconds = other.max_seconds
+            return
         self.count += other.count
         self.total_seconds += other.total_seconds
         self.min_seconds = min(self.min_seconds, other.min_seconds)
@@ -80,20 +92,35 @@ class Span:
         self._started = 0.0
 
     def __enter__(self) -> "Span":
-        stack = self._registry._span_stack
+        registry = self._registry
+        stack = registry._span_stack
         self._full_name = (
             f"{stack[-1]}.{self._name}" if stack else self._name
         )
         stack.append(self._full_name)
+        if registry._mem_profiler is not None:
+            registry._mem_profiler.enter_span()
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
         elapsed = time.perf_counter() - self._started
-        stack = self._registry._span_stack
+        registry = self._registry
+        stack = registry._span_stack
         if stack and stack[-1] == self._full_name:
             stack.pop()
-        self._registry.observe(self._full_name, elapsed)
+        registry.observe(self._full_name, elapsed)
+        if exc_type is not None:
+            # The timing above still records (a degraded stage took
+            # real wall-clock), but a crashed stage must be
+            # distinguishable from a successful one in manifests.
+            registry.inc(f"{self._full_name}.failed")
+        if registry._mem_profiler is not None:
+            peak_bytes = registry._mem_profiler.exit_span()
+            registry.set_gauge(
+                f"profile.{self._full_name}.peak_kb",
+                peak_bytes / 1024.0,
+            )
 
 
 class _NullSpan:
@@ -126,6 +153,9 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStats] = {}
         self._span_stack: List[str] = []
+        #: Set by :meth:`enable_memory_profile`; spans then record
+        #: ``profile.<name>.peak_kb`` gauges on exit.
+        self._mem_profiler = None
 
     # -- recording ------------------------------------------------------
 
@@ -149,6 +179,25 @@ class MetricsRegistry:
     def span(self, name: str) -> Span:
         """Context manager timing a pipeline stage; spans nest."""
         return Span(self, name)
+
+    def enable_memory_profile(self) -> None:
+        """Record per-span peak-memory gauges (``profile.*.peak_kb``).
+
+        Starts :mod:`tracemalloc` in this process if needed; every
+        span closed afterwards records the peak traced allocation
+        observed during its lifetime.  Gauges merge by maximum, so the
+        fan-in of worker registries reports the worst per-stage peak
+        across the pool.
+        """
+        from repro.obs.profile import MemoryProfiler
+
+        if self._mem_profiler is None:
+            self._mem_profiler = MemoryProfiler()
+            self._mem_profiler.start()
+
+    @property
+    def memory_profiling(self) -> bool:
+        return self._mem_profiler is not None
 
     # -- reading --------------------------------------------------------
 
@@ -217,6 +266,9 @@ class MetricsRegistry:
         self._gauges = state["gauges"]
         self._timers = state["timers"]
         self._span_stack = []
+        # Profiling is process-local (it wraps this interpreter's
+        # tracemalloc); a shipped registry keeps its gauges only.
+        self._mem_profiler = None
 
     def __repr__(self) -> str:
         return (
@@ -246,6 +298,10 @@ class NullRegistry(MetricsRegistry):
 
     def span(self, name: str) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
+
+    def enable_memory_profile(self) -> None:
+        # Never start tracemalloc on behalf of an uninstrumented run.
+        pass
 
     def merge(self, other: MetricsRegistry) -> "NullRegistry":
         return self

@@ -1,0 +1,86 @@
+"""Per-stage peak-memory profiling on top of :mod:`tracemalloc`.
+
+The per-day inference path materializes whole routing tables, so a
+memory regression ("which day blew up memory") is as real a failure as
+a slow stage — and invisible to wall-clock timers.  This module turns
+Python's built-in allocation tracer into *per-span peak gauges*:
+
+- :class:`MemoryProfiler` owns the process's ``tracemalloc`` peak
+  bookkeeping and exposes ``enter_span`` / ``exit_span`` hooks that
+  :class:`~repro.obs.metrics.Span` calls when a registry has
+  :meth:`~repro.obs.metrics.MetricsRegistry.enable_memory_profile`\\ d;
+- each closed span records a ``profile.<span name>.peak_kb`` gauge:
+  the peak traced allocation observed during that span's lifetime,
+  *including* its children (a parent can never report a smaller peak
+  than a child that ran inside it);
+- gauges merge by maximum, so worker registries fanned back through
+  the :mod:`repro.delegation.runner` pool report the worst per-stage
+  peak seen by any worker.
+
+``tracemalloc`` only sees Python allocations (it is "peak-RSS-style",
+not RSS itself), but that is exactly the part of the footprint the
+pipeline's own data structures control — and it needs no dependencies
+and no ``/proc`` scraping.
+
+Profiling is strictly opt-in: an un-enabled registry never imports
+this module, never starts ``tracemalloc``, and pays nothing.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import List
+
+
+class MemoryProfiler:
+    """Nesting-aware peak tracking over ``tracemalloc``'s single peak.
+
+    ``tracemalloc`` keeps one global high-water mark, so nested spans
+    cannot simply read it: resetting the peak for an inner span would
+    erase the outer span's history.  The profiler therefore keeps a
+    stack of per-span maxima and *folds* each completed interval's
+    peak into its parent frame:
+
+    - entering a span folds the global peak-so-far into the parent
+      frame, resets the global peak, and pushes a fresh frame;
+    - exiting a span takes ``max(frame, global peak)`` as the span's
+      peak, folds that into the new top frame, and resets again.
+
+    The invariant: a span's reported peak equals the maximum traced
+    allocation at any instant between its enter and its exit.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[int] = []
+        self._started_tracing = False
+
+    def start(self) -> None:
+        """Begin tracing allocations (idempotent, process-wide)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+
+    def stop(self) -> None:
+        """Stop tracing if this profiler was the one that started it."""
+        if self._started_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracing = False
+
+    def enter_span(self) -> None:
+        _current, peak = tracemalloc.get_traced_memory()
+        if self._stack:
+            if peak > self._stack[-1]:
+                self._stack[-1] = peak
+        tracemalloc.reset_peak()
+        self._stack.append(0)
+
+    def exit_span(self) -> int:
+        """Close the innermost span; returns its peak in bytes."""
+        _current, peak = tracemalloc.get_traced_memory()
+        frame = self._stack.pop() if self._stack else 0
+        if frame > peak:
+            peak = frame
+        if self._stack and peak > self._stack[-1]:
+            self._stack[-1] = peak
+        tracemalloc.reset_peak()
+        return peak

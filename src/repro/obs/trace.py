@@ -1,0 +1,412 @@
+"""Timeline tracing: per-span events, Chrome trace export, summaries.
+
+Aggregated timers (``repro.obs.metrics``) answer *how long did stage X
+take in total*; they cannot answer *which worker sat idle while lane 3
+chewed on one pathological day*.  This module records the missing
+dimension — every span as an event with a wall-clock start, a
+duration, the recording process's pid, and a **lane** (a stable label
+for the worker: ``main`` for the parent, ``worker-<pid>`` in the
+pool):
+
+- :class:`TraceBuffer` — a picklable, mergeable event list.  Workers
+  record into their own buffer and the parent folds them together at
+  fan-in, exactly like :meth:`MetricsRegistry.merge` (merging is a
+  multiset union: grouping and completion order never change the
+  merged trace's canonical form);
+- :class:`TracingRegistry` — a :class:`MetricsRegistry` whose spans
+  additionally append trace events, so every already-instrumented
+  call site gains timeline tracing with zero changes;
+- :func:`write_trace` / Chrome **trace-event JSON** export — the
+  ``--trace-out`` artifact loads directly into Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``;
+- :func:`summarize_trace` — a terminal view: wall-clock, per-lane
+  utilization, an approximate critical path, and the top-K slowest
+  spans, for when a browser is three SSH hops away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DatasetError
+from repro.obs.metrics import MetricsRegistry, Span
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the exported trace layout changes incompatibly.
+TRACE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span: wall-clock start, duration, origin."""
+
+    name: str
+    start: float      # epoch seconds (time.time at span entry)
+    duration: float   # seconds (perf_counter delta)
+    pid: int
+    lane: str
+    failed: bool = False
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class TraceBuffer:
+    """A picklable, append-only buffer of :class:`TraceEvent`\\ s.
+
+    Like the metrics registry, the buffer is built to cross process
+    boundaries: workers fill their own and :meth:`merge` folds them
+    into the parent's.  Merge is a multiset union — associative and
+    commutative with the empty buffer as identity — so the canonical
+    (sorted) event list is independent of pool completion order.
+    """
+
+    def __init__(self, lane: str = "main"):
+        self.lane = lane
+        self._events: List[TraceEvent] = []
+
+    def add(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        failed: bool = False,
+    ) -> None:
+        """Append one completed span recorded by *this* process."""
+        self._events.append(TraceEvent(
+            name=name,
+            start=start,
+            duration=duration,
+            pid=os.getpid(),
+            lane=self.lane,
+            failed=failed,
+        ))
+
+    def merge(self, other: "TraceBuffer") -> "TraceBuffer":
+        """Fold ``other``'s events into this buffer; returns ``self``."""
+        self._events.extend(other._events)
+        return self
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def lanes(self) -> List[str]:
+        return sorted({event.lane for event in self._events})
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceBuffer lane={self.lane!r} {len(self._events)} events "
+            f"in {len(self.lanes())} lanes>"
+        )
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome_json(self) -> dict:
+        """The buffer as a Chrome trace-event JSON object.
+
+        Complete (``ph: "X"``) events with microsecond timestamps
+        relative to the earliest span, one tid per lane, plus the
+        ``thread_name`` metadata that makes Perfetto label the lanes.
+        The sort key is total over an event's identity, so two merges
+        of the same shards export byte-identical JSON regardless of
+        the order the pool delivered them in.
+        """
+        events = sorted(
+            self._events,
+            key=lambda e: (
+                e.start, e.lane, e.name, e.duration, e.failed, e.pid
+            ),
+        )
+        base = events[0].start if events else 0.0
+        tids = {lane: tid for tid, lane in enumerate(
+            sorted({e.lane for e in events}), start=1
+        )}
+        pids = sorted({e.pid for e in events})
+        trace_events: List[dict] = []
+        for pid in pids:
+            trace_events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": "repro"},
+            })
+        seen_threads = set()
+        for event in events:
+            key = (event.pid, tids[event.lane])
+            if key not in seen_threads:
+                seen_threads.add(key)
+                trace_events.append({
+                    "ph": "M", "name": "thread_name",
+                    "pid": event.pid, "tid": tids[event.lane],
+                    "args": {"name": event.lane},
+                })
+        for event in events:
+            payload = {
+                "name": event.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": round((event.start - base) * 1e6, 3),
+                "dur": round(event.duration * 1e6, 3),
+                "pid": event.pid,
+                "tid": tids[event.lane],
+                "args": {"lane": event.lane},
+            }
+            if event.failed:
+                payload["args"]["failed"] = True
+            trace_events.append(payload)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "schema": TRACE_SCHEMA,
+                "trace_start_epoch": base,
+                "lanes": sorted(tids),
+            },
+        }
+
+    def write(self, path: PathLike) -> str:
+        """Write the Chrome trace JSON artifact (``--trace-out``)."""
+        path = pathlib.Path(path)
+        if path.parent != pathlib.Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(self.to_chrome_json(), indent=1)
+        path.write_text(text + "\n", encoding="utf-8")
+        return str(path)
+
+
+class TraceSpan(Span):
+    """A :class:`Span` that also appends a trace event on exit."""
+
+    __slots__ = ("_wall_started",)
+
+    def __enter__(self) -> "TraceSpan":
+        self._wall_started = time.time()
+        super().__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        duration = time.perf_counter() - self._started
+        super().__exit__(exc_type, exc_val, exc_tb)
+        self._registry.trace.add(
+            self._full_name,
+            self._wall_started,
+            duration,
+            failed=exc_type is not None,
+        )
+
+
+class TracingRegistry(MetricsRegistry):
+    """A metrics registry whose spans also record timeline events.
+
+    Everything else — counters, gauges, timers, memory profiling —
+    behaves exactly like the base class, so instrumented code needs no
+    changes: hand a ``TracingRegistry`` to any ``metrics=`` parameter
+    and every stage span lands on the timeline.  :meth:`merge` folds
+    the other registry's trace buffer in when it has one, mirroring
+    the metric fan-in from pool workers.
+    """
+
+    def __init__(self, lane: str = "main"):
+        super().__init__()
+        self.trace = TraceBuffer(lane=lane)
+
+    def span(self, name: str) -> TraceSpan:  # type: ignore[override]
+        return TraceSpan(self, name)
+
+    def merge(self, other: MetricsRegistry) -> "TracingRegistry":
+        super().merge(other)
+        other_trace = getattr(other, "trace", None)
+        if other_trace is not None:
+            self.trace.merge(other_trace)
+        return self
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["trace"] = self.trace
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        trace = state.pop("trace", None)
+        super().__setstate__(state)
+        self.trace = trace if trace is not None else TraceBuffer()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TracingRegistry lane={self.trace.lane!r} "
+            f"{len(self.trace)} events>"
+        )
+
+
+# -- loading and summarizing ----------------------------------------------
+
+
+def load_trace(path: PathLike) -> dict:
+    """Read a ``--trace-out`` artifact, validating the envelope."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise DatasetError(f"no trace file at {path}")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DatasetError(f"unreadable trace {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise DatasetError(f"{path} is not a Chrome trace-event file")
+    return payload
+
+
+def _complete_events(payload: dict) -> List[dict]:
+    return [
+        event for event in payload.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+
+
+def _event_lane(event: dict) -> str:
+    args = event.get("args") or {}
+    return str(args.get("lane", f"tid-{event.get('tid', '?')}"))
+
+
+def _union_seconds(intervals: Sequence[Tuple[float, float]]) -> float:
+    """Total covered length of possibly-overlapping (start, end)s.
+
+    Spans nest (``runner.compute`` contains every ``...day``), so a
+    plain duration sum would double-count; utilization needs the
+    union.
+    """
+    total = 0.0
+    last_end = float("-inf")
+    for start, end in sorted(intervals):
+        if end <= last_end:
+            continue
+        total += end - max(start, last_end)
+        last_end = end
+    return total
+
+
+def _critical_path(events: List[dict]) -> List[dict]:
+    """Approximate critical path: a backward chain of span ends.
+
+    Start from the span that finishes last; repeatedly jump to the
+    span with the latest end at or before the current span's start
+    (any lane).  The result is a chain of back-to-back spans whose
+    combined extent explains the run's wall-clock — the lanes to
+    speed up first.  It is an approximation (no explicit dependency
+    edges exist in a trace), but for fork-join pipelines it finds the
+    straggler chain.
+    """
+    if not events:
+        return []
+    by_end = sorted(
+        events, key=lambda e: e["ts"] + e["dur"], reverse=True
+    )
+    chain = [by_end[0]]
+    visited = {id(by_end[0])}
+    while True:
+        cutoff = chain[-1]["ts"]
+        successor = None
+        for event in by_end:
+            end = event["ts"] + event["dur"]
+            # The visited guard keeps zero-duration spans (end ==
+            # cutoff) from being re-selected forever.
+            if end <= cutoff and id(event) not in visited:
+                successor = event
+                break
+        if successor is None:
+            break
+        visited.add(id(successor))
+        chain.append(successor)
+    chain.reverse()
+    return chain
+
+
+def summarize_trace(payload: dict, top: int = 10) -> str:
+    """Terminal summary of a trace: lanes, critical path, slow spans."""
+    from repro.analysis.report import render_table
+
+    events = _complete_events(payload)
+    lines: List[str] = []
+    if not events:
+        return "empty trace: no complete span events"
+    starts = [e["ts"] for e in events]
+    ends = [e["ts"] + e["dur"] for e in events]
+    wall_us = max(ends) - min(starts)
+    lanes: Dict[str, List[dict]] = {}
+    for event in events:
+        lanes.setdefault(_event_lane(event), []).append(event)
+    lines.append(
+        f"trace: {len(events)} spans across {len(lanes)} lanes, "
+        f"wall-clock {wall_us / 1e6:.3f}s"
+    )
+    failed = sum(
+        1 for e in events if (e.get("args") or {}).get("failed")
+    )
+    if failed:
+        lines.append(f"FAILED SPANS: {failed}")
+
+    rows = []
+    for lane in sorted(lanes):
+        lane_events = lanes[lane]
+        busy_us = _union_seconds([
+            (e["ts"], e["ts"] + e["dur"]) for e in lane_events
+        ])
+        rows.append([
+            lane,
+            len(lane_events),
+            f"{busy_us / 1e6:.3f}",
+            f"{busy_us / wall_us:.0%}" if wall_us else "-",
+        ])
+    lines.append("")
+    lines.append(render_table(
+        ["lane", "spans", "busy_s", "utilization"],
+        rows,
+        title="per-lane utilization",
+    ))
+
+    chain = _critical_path(events)
+    chain_us = sum(e["dur"] for e in chain)
+    rows = [
+        [
+            e["name"],
+            _event_lane(e),
+            f"{(e['ts'] - min(starts)) / 1e6:.3f}",
+            f"{e['dur'] / 1e6:.3f}",
+        ]
+        for e in chain[-top:]
+    ]
+    lines.append("")
+    lines.append(render_table(
+        ["span", "lane", "start_s", "duration_s"],
+        rows,
+        title=(
+            f"critical path (approx, {len(chain)} spans, "
+            f"{chain_us / wall_us:.0%} of wall-clock)"
+            if wall_us else "critical path"
+        ),
+    ))
+
+    slowest = sorted(events, key=lambda e: e["dur"], reverse=True)[:top]
+    rows = [
+        [
+            e["name"],
+            _event_lane(e),
+            f"{e['dur'] / 1e6:.3f}",
+            "FAILED" if (e.get("args") or {}).get("failed") else "-",
+        ]
+        for e in slowest
+    ]
+    lines.append("")
+    lines.append(render_table(
+        ["span", "lane", "duration_s", "status"],
+        rows,
+        title=f"top {len(slowest)} slowest spans",
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Tests for the append-only run history and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.obs import (
+    RunHistory,
+    find_regressions,
+    parse_percent,
+    render_diff,
+    render_list,
+    summarize_manifest,
+)
+
+
+def _manifest(
+    runner_seconds=1.0,
+    pairs_seen=100,
+    quarantined=0,
+    config_hash="abc123" * 8,
+    profile=None,
+):
+    """A minimal but structurally faithful manifest payload."""
+    gauges = dict(profile or {})
+    return {
+        "schema": 1,
+        "command": "infer",
+        "created": "2026-08-06T00:00:00+00:00",
+        "config": {"visibility_threshold": 10},
+        "config_hash": config_hash,
+        "inputs": {"stream": "deadbeef"},
+        "stages": [
+            {
+                "name": "(i) sanitize",
+                "records_in": pairs_seen + 3,
+                "records_out": pairs_seen,
+                "dropped": {"bogon_prefix": 3},
+            },
+        ],
+        "cache": {"hits": 4, "misses": 6},
+        "degradation": (
+            {"quarantined_total": quarantined} if quarantined else None
+        ),
+        "extra": {"scale": "small", "seed": 42},
+        "metrics": {
+            "counters": {},
+            "gauges": gauges,
+            "timers": {
+                "runner": {
+                    "count": 1,
+                    "total_seconds": runner_seconds,
+                    "min_seconds": runner_seconds,
+                    "max_seconds": runner_seconds,
+                },
+                "runner.fan_in": {
+                    "count": 1,
+                    "total_seconds": 0.001,
+                    "min_seconds": 0.001,
+                    "max_seconds": 0.001,
+                },
+            },
+        },
+    }
+
+
+class TestParsePercent:
+    def test_percent_suffix(self):
+        assert parse_percent("20%") == pytest.approx(0.20)
+
+    def test_bare_fraction(self):
+        assert parse_percent("0.35") == pytest.approx(0.35)
+
+    def test_number_passes_through(self):
+        assert parse_percent(0.5) == pytest.approx(0.5)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_percent("fast-ish")
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_percent("-10%")
+
+
+class TestSummarizeManifest:
+    def test_keeps_comparable_facts(self):
+        entry = summarize_manifest(_manifest(
+            quarantined=2,
+            profile={"profile.runner.peak_kb": 1024.0, "other": 1.0},
+        ))
+        assert entry["command"] == "infer"
+        assert entry["stages"]["(i) sanitize"]["in"] == 103
+        assert entry["timers"]["runner"]["total_seconds"] == 1.0
+        assert entry["cache"] == {"hits": 4, "misses": 6}
+        assert entry["quarantined"] == 2
+        # Only profile.* gauges travel; the full dump stays behind.
+        assert entry["profile"] == {"profile.runner.peak_kb": 1024.0}
+
+    def test_tolerates_sparse_manifest(self):
+        entry = summarize_manifest({"schema": 1, "command": "ingest"})
+        assert entry["command"] == "ingest"
+        assert entry["stages"] == {}
+        assert entry["timers"] == {}
+        assert entry["quarantined"] == 0
+
+
+class TestRunHistory:
+    def test_record_assigns_sequential_ids(self, tmp_path):
+        history = RunHistory(tmp_path / "h.jsonl")
+        first = history.record(_manifest())
+        second = history.record(_manifest())
+        assert first["id"] == 1
+        assert second["id"] == 2
+        assert [e["id"] for e in history.entries()] == [1, 2]
+
+    def test_record_is_append_only(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history = RunHistory(path)
+        history.record(_manifest())
+        before = path.read_text(encoding="utf-8")
+        history.record(_manifest())
+        after = path.read_text(encoding="utf-8")
+        assert after.startswith(before)
+
+    def test_entries_skip_truncated_tail(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        history = RunHistory(path)
+        history.record(_manifest())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"id": 2, "command": "inf')  # crash mid-write
+        assert [e["id"] for e in history.entries()] == [1]
+        # Recording after a crash still produces a loadable store.
+        entry = history.record(_manifest())
+        assert entry["id"] == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunHistory(tmp_path / "absent.jsonl").entries() == []
+
+    def test_entry_lookup_and_missing(self, tmp_path):
+        history = RunHistory(tmp_path / "h.jsonl")
+        history.record(_manifest())
+        assert history.entry(1)["id"] == 1
+        with pytest.raises(DatasetError):
+            history.entry(99)
+
+    def test_latest_on_empty_store(self, tmp_path):
+        with pytest.raises(DatasetError):
+            RunHistory(tmp_path / "h.jsonl").latest()
+
+    def test_diff_renders(self, tmp_path):
+        history = RunHistory(tmp_path / "h.jsonl")
+        history.record(_manifest(runner_seconds=1.0))
+        history.record(_manifest(runner_seconds=2.0))
+        text = history.diff(1, 2)
+        assert "run #1" in text and "run #2" in text
+        assert "config: identical" in text
+        assert "+100.0%" in text
+
+    def test_check_defaults_to_latest(self, tmp_path):
+        history = RunHistory(tmp_path / "h.jsonl")
+        history.record(_manifest(runner_seconds=1.0))
+        history.record(_manifest(runner_seconds=5.0))
+        regressions = history.check(1, max_regress=0.20)
+        assert any("timer runner" in line for line in regressions)
+
+
+class TestFindRegressions:
+    def _entries(self, base_kwargs, cand_kwargs):
+        return (
+            summarize_manifest(_manifest(**base_kwargs)),
+            summarize_manifest(_manifest(**cand_kwargs)),
+        )
+
+    def test_slowdown_past_limit_flagged(self):
+        base, cand = self._entries(
+            {"runner_seconds": 1.0}, {"runner_seconds": 1.5}
+        )
+        regressions = find_regressions(base, cand, max_regress=0.20)
+        assert len(regressions) == 1
+        assert "timer runner" in regressions[0]
+
+    def test_slowdown_within_limit_passes(self):
+        base, cand = self._entries(
+            {"runner_seconds": 1.0}, {"runner_seconds": 1.1}
+        )
+        assert find_regressions(base, cand, max_regress=0.20) == []
+
+    def test_fast_timers_never_gate(self):
+        # runner.fan_in doubles but sits under min_seconds: noise.
+        base, cand = self._entries(
+            {"runner_seconds": 0.002}, {"runner_seconds": 0.040}
+        )
+        assert find_regressions(
+            base, cand, max_regress=0.20, min_seconds=0.05
+        ) == []
+
+    def test_quarantine_increase_flagged(self):
+        base, cand = self._entries(
+            {"quarantined": 0}, {"quarantined": 3}
+        )
+        regressions = find_regressions(base, cand, max_regress=10.0)
+        assert any("quarantined" in line for line in regressions)
+
+    def test_attrition_drift_needs_same_config(self):
+        same_base, same_cand = self._entries(
+            {"pairs_seen": 100}, {"pairs_seen": 90}
+        )
+        drift = find_regressions(same_base, same_cand, max_regress=10.0)
+        assert any("determinism" in line for line in drift)
+        # Different configs: attrition is expected to move.
+        diff_base, diff_cand = self._entries(
+            {"pairs_seen": 100},
+            {"pairs_seen": 90, "config_hash": "other" * 8},
+        )
+        assert find_regressions(
+            diff_base, diff_cand, max_regress=10.0
+        ) == []
+
+
+class TestRendering:
+    def test_render_list_empty(self):
+        assert "empty" in render_list([])
+
+    def test_render_list_table(self, tmp_path):
+        history = RunHistory(tmp_path / "h.jsonl")
+        history.record(_manifest())
+        text = render_list(history.entries())
+        assert "run history" in text
+        assert "infer" in text
+        assert "40%" in text  # 4 hits / 10 total
+
+    def test_render_diff_reports_memory(self):
+        base = summarize_manifest(
+            _manifest(profile={"profile.runner.peak_kb": 100.0})
+        )
+        cand = summarize_manifest(
+            _manifest(profile={"profile.runner.peak_kb": 900.0})
+        )
+        text = render_diff(base, cand)
+        assert "profile.runner.peak_kb" in text
+        assert "900 kB" in text
+
+    def test_render_diff_added_and_removed_timers(self):
+        base = summarize_manifest(_manifest())
+        cand = summarize_manifest(_manifest())
+        del cand["timers"]["runner.fan_in"]
+        cand["timers"]["runner.cache_write"] = {
+            "count": 1, "total_seconds": 0.1,
+        }
+        text = render_diff(base, cand)
+        assert "added" in text and "removed" in text
+
+
+def test_entries_are_plain_json_lines(tmp_path):
+    path = tmp_path / "h.jsonl"
+    RunHistory(path).record(_manifest())
+    (line,) = path.read_text(encoding="utf-8").splitlines()
+    payload = json.loads(line)
+    assert payload["id"] == 1
+    assert payload["schema"] == 1

@@ -104,6 +104,36 @@ class TestSpans:
             pass
         assert registry.timer("next").count == 1
 
+    def test_failed_span_counts_failure(self):
+        """A span exited by an exception marks itself failed.
+
+        Previously a raising block was indistinguishable from a
+        success in the timers — a stage that died early even *looked
+        faster*.  The ``<name>.failed`` counter disambiguates.
+        """
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("stage"):
+                raise ValueError("nope")
+        assert registry.counter("stage.failed") == 1
+
+    def test_successful_span_has_no_failure_counter(self):
+        registry = MetricsRegistry()
+        with registry.span("stage"):
+            pass
+        assert registry.counter("stage.failed") == 0
+        assert "stage.failed" not in registry.counters()
+
+    def test_nested_failure_marks_both_levels(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    raise RuntimeError("boom")
+        assert registry.counter("outer.inner.failed") == 1
+        # The exception also propagated through the outer span.
+        assert registry.counter("outer.failed") == 1
+
 
 class TestMerge:
     def test_merge_returns_self_and_sums(self):
@@ -131,6 +161,40 @@ class TestMerge:
         before = a.to_json()
         a.merge(MetricsRegistry())
         assert a.to_json() == before
+
+    def test_merge_into_empty_timer_does_not_leak_inf(self):
+        """Merging into a count==0 timer copies, not min()s.
+
+        The empty-timer sentinel ``min_seconds = inf`` used to win the
+        ``min()`` during merge and then leak into ``to_json`` of the
+        merged registry (serializing as JSON ``Infinity``).
+        """
+        empty, full = TimerStats(), TimerStats()
+        full.observe(2.0)
+        full.observe(4.0)
+        empty.merge(full)
+        assert empty.count == 2
+        assert empty.min_seconds == pytest.approx(2.0)
+        assert empty.max_seconds == pytest.approx(4.0)
+        payload = empty.to_json()
+        assert payload["min_seconds"] == pytest.approx(2.0)
+
+    def test_merge_from_empty_timer_is_identity(self):
+        full = TimerStats()
+        full.observe(1.0)
+        before = full.to_json()
+        full.merge(TimerStats())
+        assert full.to_json() == before
+
+    def test_registry_merge_never_serializes_infinity(self):
+        import json
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("t", 0.5)
+        a.merge(b)  # "t" is created empty in a, then merged into
+        text = json.dumps(a.to_json())
+        assert "Infinity" not in text
+        assert a.timer("t").min_seconds == pytest.approx(0.5)
 
 
 class TestPickling:

@@ -1,0 +1,244 @@
+"""Unit tests for the trace buffer, tracing registry, and summary."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.obs import (
+    MetricsRegistry,
+    TraceBuffer,
+    TracingRegistry,
+    load_trace,
+    summarize_trace,
+)
+from repro.obs.trace import TRACE_SCHEMA, TraceEvent
+
+
+class TestTraceBuffer:
+    def test_add_records_pid_and_lane(self):
+        import os
+
+        buffer = TraceBuffer(lane="worker-7")
+        buffer.add("stage", 10.0, 0.5)
+        (event,) = buffer.events()
+        assert event.name == "stage"
+        assert event.start == 10.0
+        assert event.duration == 0.5
+        assert event.end == pytest.approx(10.5)
+        assert event.lane == "worker-7"
+        assert event.pid == os.getpid()
+        assert event.failed is False
+
+    def test_merge_is_multiset_union(self):
+        a, b = TraceBuffer("main"), TraceBuffer("worker-1")
+        a.add("x", 1.0, 0.1)
+        b.add("y", 2.0, 0.2)
+        b.add("z", 3.0, 0.3)
+        merged = a.merge(b)
+        assert merged is a
+        assert len(a) == 3
+        assert a.lanes() == ["main", "worker-1"]
+
+    def test_merge_order_does_not_change_export(self):
+        shards = []
+        for lane, offset in (("w-1", 0.0), ("w-2", 5.0), ("w-3", 2.5)):
+            shard = TraceBuffer(lane)
+            shard.add("day", 100.0 + offset, 0.5)
+            shard.add("day", 101.0 + offset, 0.25)
+            shards.append(shard)
+        forward = TraceBuffer("main")
+        for shard in shards:
+            forward.merge(shard)
+        backward = TraceBuffer("main")
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.to_chrome_json() == backward.to_chrome_json()
+
+    def test_empty_buffer_exports_empty_trace(self):
+        payload = TraceBuffer().to_chrome_json()
+        assert payload["traceEvents"] == []
+        assert payload["metadata"]["schema"] == TRACE_SCHEMA
+
+
+class TestChromeExport:
+    def _buffer(self):
+        buffer = TraceBuffer("main")
+        buffer.add("outer", 100.0, 1.0)
+        buffer.add("outer.inner", 100.2, 0.5, failed=True)
+        return buffer
+
+    def test_complete_events_are_relative_microseconds(self):
+        payload = self._buffer().to_chrome_json()
+        complete = [
+            e for e in payload["traceEvents"] if e["ph"] == "X"
+        ]
+        assert [e["name"] for e in complete] == ["outer", "outer.inner"]
+        outer, inner = complete
+        assert outer["ts"] == 0.0
+        assert outer["dur"] == pytest.approx(1e6)
+        assert inner["ts"] == pytest.approx(0.2e6)
+        assert inner["dur"] == pytest.approx(0.5e6)
+
+    def test_failed_flag_lands_in_args(self):
+        payload = self._buffer().to_chrome_json()
+        by_name = {
+            e["name"]: e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "failed" not in by_name["outer"]["args"]
+        assert by_name["outer.inner"]["args"]["failed"] is True
+
+    def test_thread_metadata_names_lanes(self):
+        buffer = TraceBuffer("main")
+        buffer.add("a", 1.0, 0.1)
+        other = TraceBuffer("worker-9")
+        other.add("b", 2.0, 0.1)
+        buffer.merge(other)
+        payload = buffer.to_chrome_json()
+        thread_names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {"main", "worker-9"}
+        # Each lane gets its own stable tid.
+        tid_by_lane = {
+            e["args"]["lane"]: e["tid"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert len(set(tid_by_lane.values())) == 2
+
+    def test_write_load_round_trip(self, tmp_path):
+        target = tmp_path / "trace.json"
+        self._buffer().write(target)
+        payload = load_trace(target)
+        assert payload["metadata"]["trace_start_epoch"] == 100.0
+        assert len(
+            [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        ) == 2
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "trace.json"
+        self._buffer().write(target)
+        assert target.exists()
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        target = tmp_path / "not-a-trace.json"
+        target.write_text(json.dumps({"schema": 1}), encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_trace(target)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_trace(tmp_path / "nope.json")
+
+
+class TestTracingRegistry:
+    def test_span_records_metric_and_event(self):
+        registry = TracingRegistry(lane="main")
+        with registry.span("stage"):
+            pass
+        assert registry.timer("stage").count == 1
+        (event,) = registry.trace.events()
+        assert event.name == "stage"
+        assert event.lane == "main"
+
+    def test_nested_spans_keep_dotted_names(self):
+        registry = TracingRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        names = [e.name for e in registry.trace.events()]
+        # Inner closes first; both carry their full dotted path.
+        assert names == ["outer.inner", "outer"]
+
+    def test_failed_span_event(self):
+        registry = TracingRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("boom"):
+                raise RuntimeError("boom")
+        (event,) = registry.trace.events()
+        assert event.failed is True
+        assert registry.counter("boom.failed") == 1
+
+    def test_merge_folds_trace_and_metrics(self):
+        parent = TracingRegistry(lane="main")
+        worker = TracingRegistry(lane="worker-1")
+        with worker.span("day"):
+            pass
+        worker.inc("pipeline.pairs_seen", 5)
+        parent.merge(worker)
+        assert parent.counter("pipeline.pairs_seen") == 5
+        assert parent.trace.lanes() == ["worker-1"]
+
+    def test_merge_plain_registry_has_no_trace(self):
+        parent = TracingRegistry()
+        plain = MetricsRegistry()
+        plain.inc("c", 2)
+        parent.merge(plain)
+        assert parent.counter("c") == 2
+        assert len(parent.trace) == 0
+
+    def test_pickle_round_trip_keeps_events(self):
+        registry = TracingRegistry(lane="worker-3")
+        with registry.span("stage"):
+            pass
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.trace.lane == "worker-3"
+        assert [e.name for e in clone.trace.events()] == ["stage"]
+        assert clone.to_json() == registry.to_json()
+
+
+class TestSummarizeTrace:
+    def _payload(self):
+        buffer = TraceBuffer("main")
+        buffer.add("runner", 100.0, 2.0)
+        w1 = TraceBuffer("worker-1")
+        w1.add("day", 100.1, 0.9)
+        w1.add("day", 101.0, 0.9)
+        w2 = TraceBuffer("worker-2")
+        w2.add("day", 100.1, 1.8, failed=True)
+        buffer.merge(w1).merge(w2)
+        return buffer.to_chrome_json()
+
+    def test_mentions_lanes_and_wall_clock(self):
+        text = summarize_trace(self._payload())
+        assert "3 lanes" in text
+        assert "wall-clock 2.000s" in text
+        assert "worker-1" in text and "worker-2" in text
+
+    def test_reports_failed_spans(self):
+        text = summarize_trace(self._payload())
+        assert "FAILED SPANS: 1" in text
+        assert "FAILED" in text
+
+    def test_critical_path_present(self):
+        text = summarize_trace(self._payload())
+        assert "critical path" in text
+
+    def test_top_limits_slowest_table(self):
+        text = summarize_trace(self._payload(), top=2)
+        assert "top 2 slowest spans" in text
+
+    def test_empty_trace(self):
+        assert "empty trace" in summarize_trace({"traceEvents": []})
+
+    def test_zero_duration_spans_terminate(self):
+        # Regression guard: a chain of zero-duration spans must not
+        # make the critical-path walk loop forever.
+        buffer = TraceBuffer("main")
+        buffer.add("a", 100.0, 0.0)
+        buffer.add("b", 100.0, 0.0)
+        buffer.add("c", 100.0, 0.0)
+        text = summarize_trace(buffer.to_chrome_json())
+        assert "3 spans" in text
+
+
+def test_trace_event_is_frozen():
+    event = TraceEvent("a", 1.0, 0.5, pid=1, lane="main")
+    with pytest.raises(AttributeError):
+        event.name = "b"

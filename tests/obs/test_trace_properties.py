@@ -1,0 +1,90 @@
+"""Property-based tests for ``TraceBuffer.merge``.
+
+The runner merges worker trace buffers in whatever order the pool
+finishes chunks, exactly like metric registries — so the exported
+trace's canonical form must be independent of merge grouping and
+order, with the empty buffer as identity.  Mirrors
+``tests/obs/test_metrics_properties.py``.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import TraceBuffer
+
+_LANES = st.sampled_from(["main", "worker-1", "worker-2"])
+
+#: One recorded span: (name, start, duration, failed).
+_SPANS = st.tuples(
+    st.sampled_from(["runner", "runner.day", "rdap.sweep"]),
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=1e3,
+              allow_nan=False, allow_infinity=False),
+    st.booleans(),
+)
+
+_SHARDS = st.lists(
+    st.tuples(_LANES, st.lists(_SPANS, max_size=10)),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _buffer(lane, spans) -> TraceBuffer:
+    buffer = TraceBuffer(lane)
+    for name, start, duration, failed in spans:
+        buffer.add(name, start, duration, failed=failed)
+    return buffer
+
+
+def _canon(buffer: TraceBuffer):
+    """Comparable snapshot: the canonical-sorted event multiset."""
+    return sorted(
+        (e.name, round(e.start, 6), round(e.duration, 6),
+         e.lane, e.failed)
+        for e in buffer.events()
+    )
+
+
+@given(_SHARDS)
+def test_merge_order_is_irrelevant(shards):
+    forward = TraceBuffer("main")
+    for lane, spans in shards:
+        forward.merge(_buffer(lane, spans))
+    backward = TraceBuffer("main")
+    for lane, spans in reversed(shards):
+        backward.merge(_buffer(lane, spans))
+    assert _canon(forward) == _canon(backward)
+    assert forward.to_chrome_json() == backward.to_chrome_json()
+
+
+@given(
+    st.lists(_SPANS, max_size=10),
+    st.lists(_SPANS, max_size=10),
+    st.lists(_SPANS, max_size=10),
+)
+def test_merge_is_associative(spans_a, spans_b, spans_c):
+    left = _buffer("a", spans_a).merge(
+        _buffer("b", spans_b).merge(_buffer("c", spans_c))
+    )
+    right = _buffer("a", spans_a).merge(_buffer("b", spans_b)).merge(
+        _buffer("c", spans_c)
+    )
+    assert _canon(left) == _canon(right)
+
+
+@given(st.lists(_SPANS, max_size=15))
+def test_empty_buffer_is_identity(spans):
+    merged = _buffer("main", spans).merge(TraceBuffer("other"))
+    assert _canon(merged) == _canon(_buffer("main", spans))
+    absorbed = TraceBuffer("main").merge(_buffer("main", spans))
+    assert _canon(absorbed) == _canon(_buffer("main", spans))
+
+
+@given(_SHARDS)
+def test_merged_length_is_sum_of_shards(shards):
+    merged = TraceBuffer("main")
+    for lane, spans in shards:
+        merged.merge(_buffer(lane, spans))
+    assert len(merged) == sum(len(spans) for _lane, spans in shards)

@@ -181,10 +181,62 @@ class TestErrorPaths:
             capsys, "does not exist",
         )
 
+    def test_metrics_out_unwritable_parent(self, tmp_path, capsys):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        read_only = tmp_path / "ro"
+        read_only.mkdir(mode=0o500)
+        try:
+            self._assert_clean_failure(
+                ["market", "--metrics-out", str(read_only / "m.json")],
+                capsys, "not writable",
+            )
+        finally:
+            read_only.chmod(0o700)
+
+    def test_trace_out_is_directory(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["infer", "--trace-out", str(tmp_path)],
+            capsys, "is a directory",
+        )
+
+    def test_trace_out_missing_parent(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["market", "--trace-out", str(tmp_path / "no" / "t.json")],
+            capsys, "does not exist",
+        )
+
+    def test_trace_out_unwritable_parent(self, tmp_path, capsys):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        read_only = tmp_path / "ro"
+        read_only.mkdir(mode=0o500)
+        try:
+            self._assert_clean_failure(
+                ["infer", "--trace-out", str(read_only / "t.json")],
+                capsys, "not writable",
+            )
+        finally:
+            read_only.chmod(0o700)
+
     def test_manifest_missing_file(self, tmp_path, capsys):
         self._assert_clean_failure(
             ["manifest", str(tmp_path / "absent.json")],
             capsys, "no manifest",
+        )
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        self._assert_clean_failure(
+            ["trace", "summarize", str(tmp_path / "absent.json")],
+            capsys, "no trace file",
+        )
+
+    def test_history_check_bad_percentage(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        self._assert_clean_failure(
+            ["history", "--history", str(history),
+             "check", "--baseline", "1", "--max-regress", "soonish"],
+            capsys, "not a percentage",
         )
 
     def test_broken_pipe_is_silent(self):
