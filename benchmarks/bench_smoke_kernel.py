@@ -1,0 +1,98 @@
+"""CI smoke benchmark: the kernel differential at reduced scale.
+
+Runs the full small-scenario BGP window (two months) through both
+per-day kernels, sequentially and through the parallel runner, and
+asserts the columnar fast path is byte-identical to the object/trie
+reference — outputs and attrition counters alike.  Wall-clocks land
+in ``BENCH_smoke_kernel.json`` so CI can archive the trend without
+paying the paper-scale fig6 run.
+
+Scale note: small-scenario days are far too cheap for the 3x kernel
+speedup floor to be meaningful (fixed per-day overhead dominates), so
+this smoke run asserts correctness only and merely *records* the
+ratio; the floor is enforced by ``bench_fig6_delegations``.
+"""
+
+import time
+
+from repro.delegation import (
+    DelegationInference,
+    InferenceConfig,
+    WorldStreamFactory,
+    run_inference,
+    write_daily_delegations,
+)
+from repro.simulation import World, small_scenario
+
+
+def _counters(result):
+    return {
+        "pairs_seen": result.pairs_seen,
+        "pairs_dropped_visibility": result.pairs_dropped_visibility,
+        "pairs_dropped_origin": result.pairs_dropped_origin,
+        "delegations_dropped_same_org":
+            result.delegations_dropped_same_org,
+        "bogon_prefix": result.sanitize_stats.bogon_prefix,
+    }
+
+
+def _daily_bytes(result, path):
+    write_daily_delegations(result.daily, path)
+    return path.read_bytes()
+
+
+def test_smoke_kernel_differential(record_bench_json, tmp_path):
+    scenario = small_scenario()
+    world = World(scenario)
+    as2org = world.as2org()
+    start, end = scenario.bgp_start, scenario.bgp_end
+    timings = {}
+
+    sequential = {}
+    for kernel in ("object", "columnar"):
+        t0 = time.perf_counter()
+        sequential[kernel] = DelegationInference(
+            InferenceConfig.extended(), as2org, kernel=kernel
+        ).infer_range(world.stream(), start, end)
+        timings[f"sequential_{kernel}"] = time.perf_counter() - t0
+
+    # Byte-identical sequential outputs, counters in exact agreement.
+    object_bytes = _daily_bytes(
+        sequential["object"], tmp_path / "object.jsonl"
+    )
+    assert _daily_bytes(
+        sequential["columnar"], tmp_path / "columnar.jsonl"
+    ) == object_bytes
+    assert _counters(sequential["columnar"]) == \
+        _counters(sequential["object"])
+
+    # Same through the parallel runner, both kernels.
+    factory = WorldStreamFactory(scenario)
+    for kernel in ("object", "columnar"):
+        t0 = time.perf_counter()
+        parallel = run_inference(
+            factory, start, end, InferenceConfig.extended(),
+            as2org=as2org, jobs=2, kernel=kernel,
+        )
+        timings[f"runner_jobs2_{kernel}"] = time.perf_counter() - t0
+        assert _daily_bytes(
+            parallel, tmp_path / f"runner-{kernel}.jsonl"
+        ) == object_bytes
+        assert _counters(parallel) == _counters(sequential["object"])
+
+    record_bench_json("smoke_kernel", {
+        "benchmark": "smoke_kernel_differential",
+        "scenario": "small",
+        "days": (end - start).days,
+        "kernel_differential": "byte-identical",
+        "counters": _counters(sequential["columnar"]),
+        "timings_seconds": {
+            key: round(value, 4) for key, value in timings.items()
+        },
+        "speedups": {
+            "columnar_vs_object_sequential": round(
+                timings["sequential_object"]
+                / timings["sequential_columnar"], 2
+            ),
+        },
+    })

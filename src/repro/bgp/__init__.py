@@ -8,7 +8,8 @@ Views, Isolario):
 - :mod:`~repro.bgp.propagation` — valley-free route propagation
   (who receives a route, and over which AS path),
 - :mod:`~repro.bgp.message` — route records as collectors export them,
-- :mod:`~repro.bgp.rib` — per-monitor routing tables,
+- :mod:`~repro.bgp.rib` — per-monitor routing tables and the columnar
+  :class:`~repro.bgp.rib.PairTable` day representation,
 - :mod:`~repro.bgp.collector` — collector projects producing daily
   RIB/update archives,
 - :mod:`~repro.bgp.stream` — a pybgpstream-like reader over archives,
@@ -19,7 +20,7 @@ from repro.bgp.archive import ArchiveWindowReader, write_window
 from repro.bgp.collector import Collector, CollectorSystem
 from repro.bgp.message import Announcement, RouteRecord, Withdrawal
 from repro.bgp.propagation import PropagationModel
-from repro.bgp.rib import RoutingTable
+from repro.bgp.rib import PairTable, RoutingTable
 from repro.bgp.sanitize import SanitizeStats, sanitize_records
 from repro.bgp.stream import RouteStream
 from repro.bgp.topology import ASRelationship, ASTopology, TopologyConfig
@@ -32,6 +33,7 @@ __all__ = [
     "write_window",
     "Collector",
     "CollectorSystem",
+    "PairTable",
     "PropagationModel",
     "RouteRecord",
     "RouteStream",

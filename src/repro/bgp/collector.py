@@ -119,6 +119,10 @@ class CollectorSystem:
         if not self._collectors:
             raise CollectorDataError("need at least one collector")
         self._propagation = propagation
+        # Both caches are sound because the collector set and the
+        # propagation model are fixed for the system's lifetime.
+        self._all_monitors: Optional[FrozenSet[int]] = None
+        self._visible_by_origin: Dict[int, FrozenSet[int]] = {}
 
     @property
     def propagation(self) -> PropagationModel:
@@ -139,10 +143,30 @@ class CollectorSystem:
         This is the denominator of the paper's "seen by less than half
         of all BGP monitors" visibility filter.
         """
-        monitors: FrozenSet[int] = frozenset()
-        for collector in self._collectors.values():
-            monitors |= collector.monitors
-        return monitors
+        if self._all_monitors is None:
+            monitors: FrozenSet[int] = frozenset()
+            for collector in self._collectors.values():
+                monitors |= collector.monitors
+            self._all_monitors = monitors
+        return self._all_monitors
+
+    def _visible_monitors(self, origin: int) -> FrozenSet[int]:
+        """Which monitors an unrestricted announcement from ``origin``
+        reaches — ``monitors & (receivers(origin) | {origin})``, cached
+        per origin because a day announces thousands of prefixes from
+        the same few hundred origins."""
+        visible = self._visible_by_origin.get(origin)
+        if visible is None:
+            propagation = self._propagation
+            monitors = self.all_monitors()
+            if origin in propagation.topology:
+                visible = (monitors & propagation.receivers(origin)) | (
+                    {origin} & monitors
+                )
+            else:
+                visible = frozenset()
+            self._visible_by_origin[origin] = visible
+        return visible
 
     # -- in-memory generation -------------------------------------------
 
@@ -201,6 +225,56 @@ class CollectorSystem:
             prefix: (origins[prefix], len(seen_monitors[prefix]))
             for prefix in origins
         }
+
+    def pair_table_for_day(self, announcements: Iterable[Announcement]):
+        """Aggregate the day straight into a columnar
+        :class:`~repro.bgp.rib.PairTable`.
+
+        Same facts as :meth:`pair_counts_for_day` — per-prefix origin
+        uniqueness and distinct monitor count — but with no
+        :class:`~repro.netbase.asnum.OriginSet` or per-pair set churn:
+        each prefix holds one mutable slot ``[origin, as_set, visible,
+        multi_origin]``, and the per-origin visible-monitor frozenset
+        is shared across every announcement from that origin.  Tests
+        assert row-level equivalence with the object path.
+        """
+        from repro.bgp.rib import PairTable
+
+        # slot = [first origin, saw AS_SET, visible monitors (frozenset
+        # until a second distinct set arrives), saw another origin]
+        slots: Dict[int, list] = {}
+        for announcement in announcements:
+            origin = announcement.origin_asn
+            visible = self._visible_monitors(origin)
+            if announcement.restricted_to_monitors is not None:
+                visible = visible & announcement.restricted_to_monitors
+            if not visible:
+                continue
+            prefix = announcement.prefix
+            key = (prefix.network << 6) | prefix.length
+            slot = slots.get(key)
+            if slot is None:
+                slots[key] = [
+                    origin, announcement.as_set_origin, visible, False
+                ]
+                continue
+            if origin != slot[0]:
+                slot[3] = True
+            if announcement.as_set_origin:
+                slot[1] = True
+            monitors = slot[2]
+            if monitors is not visible:
+                if type(monitors) is frozenset:
+                    monitors = set(monitors)
+                    slot[2] = monitors
+                monitors.update(visible)
+        aggregate = {}
+        for key, slot in slots.items():
+            unique = not (slot[1] or slot[3])
+            aggregate[key] = (
+                slot[0] if unique else 0, unique, len(slot[2])
+            )
+        return PairTable.from_aggregate(aggregate)
 
     # -- archives --------------------------------------------------------
 

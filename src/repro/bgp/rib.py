@@ -1,21 +1,129 @@
-"""Per-monitor routing tables (RIBs).
+"""Per-monitor routing tables (RIBs) and the columnar day table.
 
 A :class:`RoutingTable` tracks what one monitor currently routes.  The
 collector system uses RIBs to derive update streams (announce on
 appearance/path change, withdraw on disappearance) between consecutive
 daily snapshots — the same RIB+updates structure the paper consumes
 from RIPE RIS / Route Views / Isolario.
+
+A :class:`PairTable` is the *columnar* representation of one day's
+aggregated (prefix, origin) pairs: parallel packed arrays instead of a
+dict of per-record objects.  It carries exactly the facts the
+delegation-inference filters consume — packed prefix key, sole origin,
+origin-uniqueness, monitor count — so a whole day can be filtered with
+tight loops over flat integer columns (the ``columnar`` kernel in
+:mod:`repro.delegation.inference`).
 """
 
 from __future__ import annotations
 
 import datetime
+from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.bgp.message import RouteRecord, Withdrawal
 from repro.netbase.aspath import ASPath
+from repro.netbase.lpm import pack, unpack
 from repro.netbase.prefix import IPv4Prefix
 from repro.netbase.trie import PrefixTrie
+
+#: Flag bit: the pair's origin is a plain single AS (not AS_SET/MOAS).
+UNIQUE_ORIGIN = 0x01
+
+
+class PairTable:
+    """One day of (prefix, origin) pairs as parallel packed arrays.
+
+    Columns, all the same length, sorted by packed prefix key:
+
+    - ``keys`` — ``array('Q')`` of ``(network << 6) | length``
+      (:func:`repro.netbase.lpm.pack` order, so covering prefixes sort
+      immediately before the prefixes they cover),
+    - ``origins`` — ``array('Q')`` of the sole origin AS (meaningful
+      only when the ``UNIQUE_ORIGIN`` flag is set; 0 otherwise),
+    - ``flags`` — ``array('B')``; bit 0 = unique origin,
+    - ``monitor_counts`` — ``array('I')`` of distinct monitors that
+      saw the pair (the visibility-filter numerator).
+
+    Pairs whose origin is an AS_SET or MOAS carry no member detail —
+    inference step (iii) drops them unconditionally, so only the
+    uniqueness verdict survives aggregation.
+    """
+
+    __slots__ = ("keys", "origins", "flags", "monitor_counts")
+
+    def __init__(
+        self,
+        keys: "array",
+        origins: "array",
+        flags: "array",
+        monitor_counts: "array",
+    ) -> None:
+        if not (
+            len(keys) == len(origins) == len(flags) == len(monitor_counts)
+        ):
+            raise ValueError("PairTable columns must have equal length")
+        self.keys = keys
+        self.origins = origins
+        self.flags = flags
+        self.monitor_counts = monitor_counts
+
+    @classmethod
+    def from_aggregate(
+        cls, aggregate: Dict[int, Tuple[int, bool, int]]
+    ) -> "PairTable":
+        """Build from ``packed_key -> (origin, unique, monitors)``.
+
+        ``origin`` is ignored (stored as 0) when ``unique`` is False.
+        """
+        keys = array("Q", sorted(aggregate))
+        origins = array("Q", bytes(8 * len(keys)))
+        flags = array("B", bytes(len(keys)))
+        monitor_counts = array("I", bytes(4 * len(keys)))
+        for index, key in enumerate(keys):
+            origin, unique, monitors = aggregate[key]
+            if unique:
+                origins[index] = origin
+                flags[index] = UNIQUE_ORIGIN
+            monitor_counts[index] = monitors
+        return cls(keys, origins, flags, monitor_counts)
+
+    @classmethod
+    def from_pairs(cls, pairs: Dict[IPv4Prefix, tuple]) -> "PairTable":
+        """Columnar view of a ``prefix -> (OriginSet, count)`` dict.
+
+        The interop path: archive-backed streams and hand-built pair
+        dicts enter the columnar kernel through here.
+        """
+        aggregate: Dict[int, Tuple[int, bool, int]] = {}
+        for prefix, (origin_set, monitors) in pairs.items():
+            unique = origin_set.is_unique
+            aggregate[pack(prefix.network, prefix.length)] = (
+                origin_set.sole_origin() if unique else 0,
+                unique,
+                monitors,
+            )
+        return cls.from_aggregate(aggregate)
+
+    def rows(self) -> Iterator[Tuple[IPv4Prefix, Optional[int], int]]:
+        """Yield ``(prefix, sole_origin_or_None, monitor_count)``."""
+        for index, key in enumerate(self.keys):
+            network, length = unpack(key)
+            unique = bool(self.flags[index] & UNIQUE_ORIGIN)
+            yield (
+                IPv4Prefix(network, length),
+                self.origins[index] if unique else None,
+                self.monitor_counts[index],
+            )
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+    def __repr__(self) -> str:
+        return f"<PairTable with {len(self.keys)} pairs>"
 
 
 class RoutingTable:

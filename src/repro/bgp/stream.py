@@ -138,6 +138,34 @@ class RouteStream:
         self._metrics.inc("stream.pairs_aggregated", len(pairs))
         return pairs
 
+    def pair_table_on(self, date: datetime.date):
+        """One day's pairs as a columnar :class:`~repro.bgp.rib.
+        PairTable` — the input of the ``columnar`` inference kernel.
+
+        Source-backed streams aggregate announcements straight into
+        packed arrays (:meth:`CollectorSystem.pair_table_for_day`);
+        archive-backed streams convert the record-level aggregation.
+        Spans/counters use the same names as :meth:`pairs_on`, so
+        traces line up across kernels.
+        """
+        from repro.bgp.rib import PairTable
+
+        if not self._metrics.enabled:
+            if self._source is not None:
+                return self._system.pair_table_for_day(self._source(date))
+            return PairTable.from_pairs(
+                prefix_origin_pairs(self.records_on(date))
+            )
+        with self._metrics.span("stream.pairs_on"):
+            if self._source is not None:
+                table = self._system.pair_table_for_day(self._source(date))
+            else:
+                table = PairTable.from_pairs(
+                    prefix_origin_pairs(self.records_on(date))
+                )
+        self._metrics.inc("stream.pairs_aggregated", len(table))
+        return table
+
     def pairs_for_days(
         self, dates: Iterable[datetime.date]
     ) -> Iterator[

@@ -235,6 +235,7 @@ def _write_infer_manifest(
     manifest.cache = {"hits": hits, "misses": misses}
     manifest.extra["scale"] = args.scale
     manifest.extra["seed"] = args.seed
+    manifest.extra["kernel"] = getattr(args, "kernel", "columnar")
     manifest.write(args.metrics_out)
 
 
@@ -351,6 +352,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         metrics=metrics,
+        kernel=args.kernel,
     )
     if args.metrics_out is not None:
         _write_infer_manifest(
@@ -519,11 +521,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.extended(), as2org=world.as2org(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
+            kernel=args.kernel,
         )
         baseline = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.baseline(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
+            kernel=args.kernel,
         )
         results = [extended, baseline]
         written.append(
@@ -557,6 +561,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         manifest.cache = {"hits": hits, "misses": misses}
         manifest.extra["scale"] = args.scale
         manifest.extra["seed"] = args.seed
+        manifest.extra["kernel"] = args.kernel
         manifest.extra["files_written"] = written
         manifest.write(args.metrics_out)
     _write_trace(args, metrics)
@@ -621,6 +626,12 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="cache per-day inference results under DIR; re-runs with "
              "an unchanged configuration become near-instant",
+    )
+    parser.add_argument(
+        "--kernel", choices=("columnar", "object"), default="columnar",
+        help="per-day inference implementation: 'columnar' packed "
+             "arrays (fast, default) or the 'object' trie reference "
+             "path; both produce byte-identical results",
     )
     _add_obs_arguments(parser)
 

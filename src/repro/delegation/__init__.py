@@ -3,7 +3,9 @@
 - :mod:`~repro.delegation.model` — delegation record types,
 - :mod:`~repro.delegation.inference` — the Krenc–Feldmann base
   algorithm plus the paper's extensions (same-organization filter and
-  consistency-rule gap filling), all independently toggleable,
+  consistency-rule gap filling), all independently toggleable, with
+  two interchangeable per-day kernels (``columnar`` packed arrays and
+  the ``object`` trie reference),
 - :mod:`~repro.delegation.consistency` — the "(M, N)" consistency-rule
   family, gap filling, and fail-rate evaluation,
 - :mod:`~repro.delegation.runner` — parallel day fan-out with an
@@ -31,6 +33,7 @@ from repro.delegation.io import (
     write_daily_delegations,
 )
 from repro.delegation.inference import (
+    KERNELS,
     DelegationInference,
     InferenceConfig,
     InferenceResult,
@@ -56,6 +59,7 @@ __all__ = [
     "FusionReport",
     "InferenceConfig",
     "InferenceResult",
+    "KERNELS",
     "Source",
     "fuse_delegations",
     "RdapDelegation",

@@ -22,11 +22,13 @@ from __future__ import annotations
 import datetime
 import logging
 import math
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.asorg.as2org import As2OrgDataset
 from repro.bgp.message import RouteRecord
+from repro.bgp.rib import PairTable
 from repro.bgp.sanitize import SanitizeStats, sanitize_records
 from repro.bgp.stream import RouteStream, prefix_origin_pairs
 from repro.delegation.consistency import ConsistencyRule, fill_gaps
@@ -36,11 +38,26 @@ from repro.delegation.model import (
     DelegationKey,
 )
 from repro.errors import ReproError
+from repro.netbase.bogons import BOGON_PREFIXES
+from repro.netbase.lpm import _HOST_BITS, nearest_strict_covers
 from repro.netbase.prefix import IPv4Prefix
 from repro.netbase.trie import PrefixTrie
 from repro.obs.metrics import NULL, MetricsRegistry
 
 logger = logging.getLogger(__name__)
+
+#: The per-day kernels: ``columnar`` (packed-array fast path, the
+#: default) and ``object`` (the original trie/dict reference path).
+#: Both produce byte-identical results; differential tests enforce it.
+KERNELS = ("columnar", "object")
+
+#: The bogon list as sorted, disjoint ``(first, last)`` address
+#: intervals — the batch bogon filter's two-pointer partner.  Overlap
+#: with any interval is exactly :func:`~repro.netbase.bogons.is_bogon`
+#: (covering either direction is an interval overlap).
+_BOGON_INTERVALS: Tuple[Tuple[int, int], ...] = tuple(
+    sorted((p.network, p.broadcast) for p in BOGON_PREFIXES)
+)
 
 
 def record_pipeline_counters(
@@ -157,17 +174,32 @@ class DelegationInference:
         self,
         config: Optional[InferenceConfig] = None,
         as2org: Optional[As2OrgDataset] = None,
+        kernel: str = "columnar",
     ):
         self._config = config or InferenceConfig()
         if self._config.same_org_filter and as2org is None:
             raise ReproError(
                 "same_org_filter requires an as2org dataset"
             )
+        if kernel not in KERNELS:
+            raise ReproError(
+                f"unknown inference kernel {kernel!r} "
+                f"(choose from {', '.join(KERNELS)})"
+            )
         self._as2org = as2org
+        self._kernel = kernel
+        # Packed key → IPv4Prefix, shared across days: consecutive days
+        # delegate almost the same prefixes, so the columnar drivers
+        # materialize each distinct prefix exactly once per run.
+        self._prefix_cache: Dict[int, IPv4Prefix] = {}
 
     @property
     def config(self) -> InferenceConfig:
         return self._config
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
 
     # -- single-day pipeline ------------------------------------------------
 
@@ -205,11 +237,21 @@ class DelegationInference:
         When the pairs did not pass through record-level sanitization,
         the bogon rule is applied here (the AS-path rules have no
         equivalent at pair granularity).
+
+        Under the ``columnar`` kernel the dict is converted to a
+        :class:`~repro.bgp.rib.PairTable` and handed to
+        :meth:`infer_day_from_table`; the ``object`` kernel runs the
+        original trie/dict reference path below.
         """
         from repro.netbase.bogons import is_bogon
 
         if total_monitors <= 0:
             raise ReproError("total_monitors must be positive")
+        if self._kernel == "columnar":
+            return self.infer_day_from_table(
+                PairTable.from_pairs(pairs), total_monitors, date,
+                result, pre_sanitized=pre_sanitized,
+            )
         config = self._config
         if config.sanitize and not pre_sanitized:
             filtered = {}
@@ -282,6 +324,151 @@ class DelegationInference:
             )
         return delegations
 
+    def infer_day_from_table(
+        self,
+        table: PairTable,
+        total_monitors: int,
+        date: datetime.date,
+        result: Optional[InferenceResult] = None,
+        *,
+        pre_sanitized: bool = False,
+        metrics: MetricsRegistry = NULL,
+    ) -> List[BgpDelegation]:
+        """Steps (ii)–(iv) on a columnar day — the ``columnar`` kernel.
+
+        Semantically identical to :meth:`infer_day_from_pairs`
+        (differential tests pin byte-identical output and counter
+        parity), but everything runs over the table's flat integer
+        columns:
+
+        - one fused pass applies bogon (two-pointer against the sorted
+          interval list), visibility and unique-origin filters, with
+          the same per-filter counting as the object path,
+        - the Krenc–Feldmann core — each survivor's most-specific
+          *strictly* covering survivor — is one O(n) stack pass over
+          the already-sorted keys
+          (:func:`~repro.netbase.lpm.nearest_strict_covers`) instead
+          of n trie walks,
+        - the as2org snapshot for ``date`` is resolved once, not per
+          candidate delegation.
+
+        ``IPv4Prefix`` objects are materialized only for the surviving
+        delegations.  ``metrics`` receives the two kernel stage timers
+        (``kernel.columnar.filter`` / ``kernel.columnar.cover``).
+        """
+        rows = self._table_delegation_rows(
+            table, total_monitors, date, result,
+            pre_sanitized=pre_sanitized, metrics=metrics,
+        )
+        return [
+            BgpDelegation(
+                prefix=IPv4Prefix(key >> 6, key & 0x3F),
+                delegator_asn=delegator,
+                delegatee_asn=delegatee,
+                covering_prefix=IPv4Prefix(
+                    cover_key >> 6, cover_key & 0x3F
+                ),
+            )
+            for key, delegator, delegatee, cover_key in rows
+        ]
+
+    def _table_delegation_rows(
+        self,
+        table: PairTable,
+        total_monitors: int,
+        date: datetime.date,
+        result: Optional[InferenceResult] = None,
+        *,
+        pre_sanitized: bool = False,
+        metrics: MetricsRegistry = NULL,
+    ) -> List[Tuple[int, int, int, int]]:
+        """The columnar kernel proper, staying in integer space.
+
+        Returns one ``(packed_key, delegator, delegatee,
+        cover_packed_key)`` row per inferred delegation, sorted by
+        packed key.  :meth:`infer_day_from_table` wraps rows into
+        :class:`BgpDelegation` objects; the multi-day drivers consume
+        them directly so hot paths never build per-record objects.
+        """
+        if total_monitors <= 0:
+            raise ReproError("total_monitors must be positive")
+        config = self._config
+        keys = table.keys
+        flags = table.flags
+        monitor_counts = table.monitor_counts
+
+        with metrics.span("kernel.columnar.filter"):
+            needed = config.required_monitors(total_monitors)
+            check_bogon = config.sanitize and not pre_sanitized
+            intervals = _BOGON_INTERVALS
+            interval_count = len(intervals)
+            host_bits = _HOST_BITS
+            origins = table.origins
+            bogon_dropped = visibility_dropped = origin_dropped = 0
+            surviving_keys = array("Q")
+            surviving_origins: List[int] = []
+            keep_key = surviving_keys.append
+            keep_origin = surviving_origins.append
+            j = 0
+            for i, key in enumerate(keys):
+                if check_bogon:
+                    network = key >> 6
+                    # Entry networks ascend with the sorted keys, so
+                    # the interval cursor only ever moves forward.
+                    while j < interval_count and intervals[j][1] < network:
+                        j += 1
+                    if j < interval_count and intervals[j][0] <= (
+                        network | host_bits[key & 0x3F]
+                    ):
+                        bogon_dropped += 1
+                        continue
+                if monitor_counts[i] < needed:
+                    visibility_dropped += 1
+                    continue
+                if not flags[i]:
+                    # Non-unique origins (AS_SET or MOAS) never appear
+                    # on either side of a delegation, so — matching the
+                    # object path — they are dropped and counted under
+                    # both settings of ``drop_non_unique_origins``.
+                    origin_dropped += 1
+                    continue
+                keep_key(key)
+                keep_origin(origins[i])
+            if result is not None:
+                result.sanitize_stats.bogon_prefix += bogon_dropped
+                result.pairs_seen += len(keys) - bogon_dropped
+                result.pairs_dropped_visibility += visibility_dropped
+                result.pairs_dropped_origin += origin_dropped
+
+        with metrics.span("kernel.columnar.cover"):
+            covers = nearest_strict_covers(surviving_keys)
+            same_org = None
+            if config.same_org_filter:
+                assert self._as2org is not None
+                same_org = self._as2org.snapshot_for(date).same_org
+            rows: List[Tuple[int, int, int, int]] = []
+            same_org_dropped = 0
+            for i, cover_index in enumerate(covers):
+                if cover_index < 0:
+                    continue
+                delegator = surviving_origins[cover_index]
+                delegatee = surviving_origins[i]
+                if delegator == delegatee:
+                    continue
+                # (iv)+ same-organization filter.
+                if same_org is not None and same_org(delegator, delegatee):
+                    same_org_dropped += 1
+                    continue
+                rows.append(
+                    (
+                        surviving_keys[i], delegator, delegatee,
+                        surviving_keys[cover_index],
+                    )
+                )
+            if result is not None:
+                result.delegations_dropped_same_org += same_org_dropped
+        return rows
+
     # -- multi-day pipeline ----------------------------------------------------
 
     def infer_range(
@@ -307,18 +494,40 @@ class DelegationInference:
         )
         total_monitors = stream.monitor_count()
         delegations_total = 0
+        use_table = (
+            self._kernel == "columnar"
+            and hasattr(stream, "pair_table_on")
+        )
+        prefix_cache = self._prefix_cache
         for date in date_range(start, end, step_days):
             result.observation_dates.append(date)
             with metrics.span("pipeline.day"):
-                delegations = self.infer_day_from_pairs(
-                    stream.pairs_on(date), total_monitors, date, result
-                )
-                result.daily.record(date, (d.key() for d in delegations))
-            delegations_total += len(delegations)
+                if use_table:
+                    rows = self._table_delegation_rows(
+                        stream.pair_table_on(date), total_monitors,
+                        date, result, metrics=metrics,
+                    )
+                    keys = []
+                    for key, delegator, delegatee, _cover in rows:
+                        prefix = prefix_cache.get(key)
+                        if prefix is None:
+                            prefix = IPv4Prefix(key >> 6, key & 0x3F)
+                            prefix_cache[key] = prefix
+                        keys.append((prefix, delegator, delegatee))
+                    day_count = len(rows)
+                else:
+                    delegations = self.infer_day_from_pairs(
+                        stream.pairs_on(date), total_monitors, date,
+                        result,
+                    )
+                    keys = [d.key() for d in delegations]
+                    day_count = len(delegations)
+                result.daily.record(date, keys)
+            delegations_total += day_count
             if len(result.observation_dates) % 100 == 0:
                 logger.debug(
                     "inference at %s: %d delegations",
-                    date, len(delegations),
+                    date, day_count,
                 )
         logger.info(
             "inferred delegations for %d days (%d pairs seen)",

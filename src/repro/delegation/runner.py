@@ -12,14 +12,23 @@ so this module provides:
   *stream factory*) and reuses it for every day of its shard, and the
   as2org snapshots are shipped to each worker once at pool start-up
   instead of being re-loaded per day;
-- **an on-disk, content-addressed result cache** — one small JSON file
-  per (config, input, day), keyed on the :class:`~repro.delegation.
-  inference.InferenceConfig` fields that affect steps (i)–(iv) plus
-  fingerprints of the input stream and the as2org dataset.  Re-running
-  with an unchanged configuration is a pure cache read; ablation
-  sweeps only recompute the days whose parameters actually changed
-  (in particular, sweeping the consistency rule (v) never invalidates
-  the per-day cache, because (v) runs after the fan-in);
+- **an on-disk, content-addressed result cache** — one small binary
+  file per (config, input, day), keyed on the :class:`~repro.
+  delegation.inference.InferenceConfig` fields that affect steps
+  (i)–(iv) plus fingerprints of the input stream and the as2org
+  dataset.  The v2 payload is a fixed struct header (date + the five
+  attrition counters) followed by flat little-endian ``(network,
+  length, delegator, delegatee)`` quads — 16 bytes per delegation, no
+  JSON or string parsing on the warm path.  The schema number is part
+  of the content address, so bumping it turns every v1 entry into a
+  clean miss (old ``.json`` entries are simply never probed).
+  Re-running with an unchanged configuration is a pure cache read;
+  ablation sweeps only recompute the days whose parameters actually
+  changed (in particular, sweeping the consistency rule (v) never
+  invalidates the per-day cache, because (v) runs after the fan-in).
+  The kernel choice is deliberately *not* part of the key: both
+  kernels produce byte-identical results, so their entries are
+  interchangeable;
 - **fan-in** in the parent: per-day results are merged in date order
   into one :class:`~repro.delegation.inference.InferenceResult`, and
   extension (v) is applied exactly once, so the output is
@@ -40,7 +49,10 @@ import json
 import logging
 import os
 import pathlib
+import struct
+import sys
 import time
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,21 +60,25 @@ from repro.asorg.as2org import As2OrgDataset
 from repro.bgp.stream import RouteStream, date_range
 from repro.delegation.consistency import fill_gaps
 from repro.delegation.inference import (
+    KERNELS,
     DelegationInference,
     InferenceConfig,
     InferenceResult,
     record_pipeline_counters,
 )
-from repro.delegation.io import key_from_json, key_to_json
 from repro.delegation.model import DailyDelegations
 from repro.errors import ReproError
+from repro.netbase.prefix import IPv4Prefix
 from repro.obs.metrics import NULL, MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
 #: Bump when the cache payload layout changes: old entries become
-#: misses instead of being misread.
-CACHE_SCHEMA = 1
+#: misses instead of being misread.  v2 switched the per-day payload
+#: from JSON (string prefixes) to the compact binary quad encoding —
+#: and because the schema participates in :func:`_cache_key`, every v1
+#: entry hashes to a different address and is never even opened.
+CACHE_SCHEMA = 2
 
 #: Target number of chunks per worker — small enough to amortize task
 #: dispatch, large enough to keep the pool busy when days vary in cost.
@@ -185,22 +201,81 @@ def _cache_key(
 
 def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
     # Two-level fan-out keeps directories small on multi-year sweeps.
-    return cache_dir / key[:2] / f"{key}.json"
+    return cache_dir / key[:2] / f"{key}.bin"
+
+
+#: v2 binary layout: header (magic, schema, date, the five attrition
+#: counters, record count) followed by ``count`` little-endian u32
+#: quads ``(network, length, delegator, delegatee)``.
+_CACHE_MAGIC = b"RPD2"
+_CACHE_HEADER = struct.Struct("<4sHHBB5QI")
+_QUAD_BYTES = 16
+_COUNTER_FIELDS = (
+    "pairs_seen",
+    "pairs_dropped_visibility",
+    "pairs_dropped_origin",
+    "delegations_dropped_same_org",
+    "bogon_prefix",
+)
+
+
+def _encode_payload(payload: dict) -> bytes:
+    """Serialize one day's payload into the v2 binary form."""
+    date = payload["date"]
+    counters = payload["counters"]
+    quads = payload["delegations"]
+    header = _CACHE_HEADER.pack(
+        _CACHE_MAGIC, CACHE_SCHEMA, date.year, date.month, date.day,
+        *(counters[name] for name in _COUNTER_FIELDS), len(quads),
+    )
+    body = array("I")
+    for quad in quads:
+        body.extend(quad)
+    if sys.byteorder != "little":
+        body.byteswap()
+    return header + body.tobytes()
+
+
+def _decode_payload(data: bytes) -> Optional[dict]:
+    """Parse a v2 entry; ``None`` for anything torn or foreign."""
+    if len(data) < _CACHE_HEADER.size:
+        return None
+    fields = _CACHE_HEADER.unpack_from(data)
+    magic, schema, year, month, day = fields[:5]
+    count = fields[10]
+    if magic != _CACHE_MAGIC or schema != CACHE_SCHEMA:
+        return None
+    if len(data) != _CACHE_HEADER.size + count * _QUAD_BYTES:
+        return None
+    try:
+        date = datetime.date(year, month, day)
+    except ValueError:
+        return None
+    body = array("I")
+    body.frombytes(data[_CACHE_HEADER.size:])
+    if sys.byteorder != "little":
+        body.byteswap()
+    return {
+        "date": date,
+        "delegations": [
+            tuple(body[i:i + 4]) for i in range(0, len(body), 4)
+        ],
+        "counters": dict(zip(_COUNTER_FIELDS, fields[5:10])),
+    }
 
 
 def _cache_read(path: pathlib.Path) -> Optional[dict]:
     """Load a payload, treating missing/corrupt entries as misses."""
     try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
+        data = path.read_bytes()
     except FileNotFoundError:
         return None
-    except (OSError, json.JSONDecodeError):
+    except OSError:
         logger.warning("discarding unreadable cache entry %s", path)
         return None
-    if not isinstance(payload, dict) or "delegations" not in payload:
+    payload = _decode_payload(data)
+    if payload is None:
         logger.warning("discarding malformed cache entry %s", path)
-        return None
     return payload
 
 
@@ -208,8 +283,8 @@ def _cache_write(path: pathlib.Path, payload: dict) -> None:
     """Atomic write: concurrent runs never observe torn entries."""
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, separators=(",", ":"))
+    with open(tmp, "wb") as handle:
+        handle.write(_encode_payload(payload))
     os.replace(tmp, path)
 
 
@@ -221,22 +296,42 @@ def _compute_day_payload(
     inference: DelegationInference,
     total_monitors: int,
     date: datetime.date,
+    metrics: MetricsRegistry = NULL,
 ) -> dict:
-    """Steps (i)–(iv) for one day, as a JSON-safe payload.
+    """Steps (i)–(iv) for one day, as a numeric payload.
 
-    The payload doubles as the cache file format: sorted delegation
-    keys plus the bookkeeping counters the sequential path accumulates.
+    The payload mirrors the v2 cache format: sorted ``(network,
+    length, delegator, delegatee)`` quads plus the bookkeeping
+    counters the sequential path accumulates.  Under the ``columnar``
+    kernel the day never materializes per-record objects at all — the
+    kernel's packed rows are reshaped straight into quads.
     """
     scratch = InferenceResult(
         daily=DailyDelegations(), config=inference.config
     )
-    delegations = inference.infer_day_from_pairs(
-        stream.pairs_on(date), total_monitors, date, scratch
-    )
+    if inference.kernel == "columnar" and hasattr(stream, "pair_table_on"):
+        rows = inference._table_delegation_rows(
+            stream.pair_table_on(date), total_monitors, date, scratch,
+            metrics=metrics,
+        )
+        quads = sorted(
+            (key >> 6, key & 0x3F, delegator, delegatee)
+            for key, delegator, delegatee, _cover in rows
+        )
+    else:
+        delegations = inference.infer_day_from_pairs(
+            stream.pairs_on(date), total_monitors, date, scratch
+        )
+        quads = sorted(
+            (
+                d.prefix.network, d.prefix.length,
+                d.delegator_asn, d.delegatee_asn,
+            )
+            for d in delegations
+        )
     return {
-        "schema": CACHE_SCHEMA,
-        "date": date.isoformat(),
-        "delegations": sorted(key_to_json(d.key()) for d in delegations),
+        "date": date,
+        "delegations": quads,
         "counters": {
             "pairs_seen": scratch.pairs_seen,
             "pairs_dropped_visibility": scratch.pairs_dropped_visibility,
@@ -260,6 +355,7 @@ def _init_worker(
     instrument: bool = False,
     trace: bool = False,
     profile: bool = False,
+    kernel: str = "columnar",
 ) -> None:
     """Pool initializer: runs once per worker process.
 
@@ -280,6 +376,7 @@ def _init_worker(
     _WORKER_STATE["instrument"] = instrument
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["profile"] = profile
+    _WORKER_STATE["kernel"] = kernel
 
 
 def _worker_registry() -> MetricsRegistry:
@@ -316,7 +413,8 @@ def _worker_run_chunk(
         stream = _WORKER_STATE["factory"]()
         _WORKER_STATE["stream"] = stream
         _WORKER_STATE["inference"] = DelegationInference(
-            _WORKER_STATE["config"], _WORKER_STATE["as2org"]
+            _WORKER_STATE["config"], _WORKER_STATE["as2org"],
+            kernel=_WORKER_STATE.get("kernel", "columnar"),
         )
         _WORKER_STATE["total_monitors"] = stream.monitor_count()
     inference = _WORKER_STATE["inference"]
@@ -337,7 +435,7 @@ def _worker_run_chunk(
         # historical name.
         with registry.span("runner.compute.day"):
             payloads.append(_compute_day_payload(
-                stream, inference, total_monitors, date
+                stream, inference, total_monitors, date, registry
             ))
     registry.inc("runner.chunks")
     return payloads, registry
@@ -361,6 +459,7 @@ def run_inference(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
     metrics: MetricsRegistry = NULL,
+    kernel: str = "columnar",
 ) -> InferenceResult:
     """Run the full pipeline over ``[start, end)``, in parallel.
 
@@ -368,7 +467,14 @@ def run_inference(
     :class:`RouteStream` to read (e.g. :class:`WorldStreamFactory`);
     with ``jobs > 1`` it must be picklable, and with ``cache_dir`` set
     it must additionally expose a ``fingerprint()`` identifying the
-    input data.  ``jobs=None`` uses ``os.cpu_count()``.
+    input data.  ``jobs=None`` uses ``os.cpu_count()``; ``jobs=1``
+    never spawns a process pool — the fan-out runs inline in this
+    process, so a single-job cold run costs no more than the
+    sequential path.
+
+    ``kernel`` picks the per-day implementation (``columnar`` — the
+    packed-array fast path — or ``object``, the trie reference); both
+    yield byte-identical results and share cache entries.
 
     ``metrics`` (when not the no-op default) receives nested stage
     spans (``runner.cache_probe`` / ``runner.compute`` /
@@ -386,6 +492,11 @@ def run_inference(
     config = config or InferenceConfig()
     if config.same_org_filter and as2org is None:
         raise ReproError("same_org_filter requires an as2org dataset")
+    if kernel not in KERNELS:
+        raise ReproError(
+            f"unknown inference kernel {kernel!r} "
+            f"(choose from {', '.join(KERNELS)})"
+        )
 
     dates = list(date_range(start, end, step_days))
     resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -434,22 +545,29 @@ def run_inference(
             if resolved_jobs > 1 and len(missing) > 1:
                 computed = _compute_parallel(
                     stream_factory, config, as2org, missing,
-                    resolved_jobs, metrics,
+                    resolved_jobs, metrics, kernel,
                 )
             else:
+                # Single-job (or single-day) runs stay entirely in
+                # this process: forking a pool to feed one worker can
+                # only add spawn and pickling overhead on top of the
+                # same sequential work.
                 stream = stream_factory()
                 if metrics.enabled and hasattr(stream, "set_metrics"):
                     stream.set_metrics(metrics)
-                inference = DelegationInference(config, as2org)
+                inference = DelegationInference(
+                    config, as2org, kernel=kernel
+                )
                 total_monitors = stream.monitor_count()
                 for date in missing:
                     with metrics.span("day"):
                         computed.append(_compute_day_payload(
-                            stream, inference, total_monitors, date
+                            stream, inference, total_monitors, date,
+                            metrics,
                         ))
     with metrics.span("runner.cache_write"):
         for payload in computed:
-            date = datetime.date.fromisoformat(payload["date"])
+            date = payload["date"]
             payload_by_date[date] = payload
             if cache_base is not None:
                 key = _cache_key(config, date, input_fp, as2org_fp)
@@ -457,16 +575,17 @@ def run_inference(
 
     # Phase 3: fan-in, in date order, then extension (v) exactly once.
     # Consecutive days share almost all delegations, so prefixes are
-    # interned: each distinct prefix string is parsed once and the
-    # same IPv4Prefix object is reused across the whole window.
-    interned: Dict[str, object] = {}
+    # interned: each distinct (network, length) is materialized once
+    # and the same IPv4Prefix object is reused across the whole window.
+    interned: Dict[int, IPv4Prefix] = {}
 
-    def _decode(raw: list) -> tuple:
-        text, delegator, delegatee = raw
-        prefix = interned.get(text)
+    def _decode(quad: tuple) -> tuple:
+        network, length, delegator, delegatee = quad
+        packed = (network << 6) | length
+        prefix = interned.get(packed)
         if prefix is None:
-            prefix = key_from_json(raw)[0]
-            interned[text] = prefix
+            prefix = IPv4Prefix(network, length)
+            interned[packed] = prefix
         return (prefix, delegator, delegatee)
 
     result = InferenceResult(daily=DailyDelegations(), config=config)
@@ -491,7 +610,7 @@ def run_inference(
             )
             delegations_total += len(payload["delegations"])
             result.daily.record(
-                date, (_decode(raw) for raw in payload["delegations"])
+                date, (_decode(quad) for quad in payload["delegations"])
             )
     if config.consistency_rule is not None:
         with metrics.span("runner.consistency"):
@@ -525,6 +644,7 @@ def _compute_parallel(
     missing: Sequence[datetime.date],
     jobs: int,
     metrics: MetricsRegistry = NULL,
+    kernel: str = "columnar",
 ) -> List[dict]:
     """Fan the missing days out over a process pool.
 
@@ -548,6 +668,7 @@ def _compute_parallel(
             # gets worker-side peak gauges (max-merged at fan-in).
             getattr(metrics, "trace", None) is not None,
             metrics.memory_profiling,
+            kernel,
         ),
     )
     try:

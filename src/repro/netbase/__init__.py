@@ -5,6 +5,8 @@ This subpackage is the foundation everything else builds on:
 - :class:`~repro.netbase.prefix.IPv4Prefix` — immutable IPv4 CIDR prefix.
 - :class:`~repro.netbase.trie.PrefixTrie` — binary radix trie mapping
   prefixes to values with longest-prefix-match and cover queries.
+- :mod:`~repro.netbase.lpm` — the columnar sorted-array equivalent of
+  the trie (packed keys, batch cover kernel) used on hot paths.
 - :class:`~repro.netbase.prefixset.PrefixSet` — set of prefixes with
   aggregation and address-count semantics.
 - :mod:`~repro.netbase.asnum` — AS-number validation and origin sets.
@@ -23,6 +25,12 @@ from repro.netbase.asnum import (
 )
 from repro.netbase.aspath import ASPath, ASPathSegment, SegmentType
 from repro.netbase.bogons import BOGON_PREFIXES, bogon_set, is_bogon
+from repro.netbase.lpm import (
+    SortedPrefixMap,
+    nearest_strict_covers,
+    pack,
+    unpack,
+)
 from repro.netbase.prefix import IPv4Prefix, format_address, parse_address
 from repro.netbase.prefixset import PrefixSet, aggregate
 from repro.netbase.trie import PrefixTrie
@@ -38,12 +46,16 @@ __all__ = [
     "PrefixSet",
     "PrefixTrie",
     "SegmentType",
+    "SortedPrefixMap",
     "aggregate",
     "bogon_set",
     "format_address",
     "is_bogon",
     "is_private_asn",
     "is_reserved_asn",
+    "nearest_strict_covers",
+    "pack",
     "parse_address",
+    "unpack",
     "validate_asn",
 ]

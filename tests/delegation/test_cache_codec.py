@@ -1,0 +1,138 @@
+"""Tests for the compact v2 binary cache encoding.
+
+Contract: exact round-trip of (date, delegation quads, attrition
+counters); everything torn, truncated, or foreign — including v1
+JSON-era entries — decodes to ``None`` (a cache miss), never to a
+wrong payload.
+"""
+
+import datetime
+import json
+import struct
+
+import pytest
+
+from repro.delegation.runner import (
+    _CACHE_HEADER,
+    _CACHE_MAGIC,
+    _COUNTER_FIELDS,
+    CACHE_SCHEMA,
+    _cache_read,
+    _cache_write,
+    _decode_payload,
+    _encode_payload,
+)
+
+D = datetime.date
+
+
+def _payload(quads=None):
+    return {
+        "date": D(2020, 3, 14),
+        "delegations": quads if quads is not None else [
+            (0x0A000000, 8, 65001, 65002),
+            (0xC0A80000, 16, 65003, 65004),
+            (0xFFFFFFFF, 32, 1, 2),
+        ],
+        "counters": {
+            "pairs_seen": 906195,
+            "pairs_dropped_visibility": 12,
+            "pairs_dropped_origin": 7,
+            "delegations_dropped_same_org": 1199,
+            "bogon_prefix": 3,
+        },
+    }
+
+
+class TestRoundTrip:
+    def test_encode_decode_round_trip(self):
+        payload = _payload()
+        assert _decode_payload(_encode_payload(payload)) == payload
+
+    def test_empty_day(self):
+        payload = _payload(quads=[])
+        assert _decode_payload(_encode_payload(payload)) == payload
+
+    def test_record_size_is_16_bytes(self):
+        empty = _encode_payload(_payload(quads=[]))
+        three = _encode_payload(_payload())
+        assert len(empty) == _CACHE_HEADER.size
+        assert len(three) - len(empty) == 3 * 16
+
+    def test_extreme_values(self):
+        payload = _payload(quads=[(0xFFFFFFFF, 0, 0xFFFFFFFF, 0)])
+        payload["counters"]["pairs_seen"] = 2 ** 63
+        assert _decode_payload(_encode_payload(payload)) == payload
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "cache" / "entry.bin"
+        _cache_write(path, _payload())
+        assert _cache_read(path) == _payload()
+        assert not list(path.parent.glob("*.tmp.*"))  # atomic, no litter
+
+
+class TestRejection:
+    def test_missing_file_is_miss(self, tmp_path):
+        assert _cache_read(tmp_path / "absent.bin") is None
+
+    def test_truncated_header(self):
+        data = _encode_payload(_payload())
+        assert _decode_payload(data[: _CACHE_HEADER.size - 1]) is None
+
+    def test_truncated_body(self):
+        data = _encode_payload(_payload())
+        assert _decode_payload(data[:-3]) is None
+
+    def test_trailing_garbage(self):
+        data = _encode_payload(_payload())
+        assert _decode_payload(data + b"\x00") is None
+
+    def test_wrong_magic(self):
+        data = _encode_payload(_payload())
+        assert _decode_payload(b"NOPE" + data[4:]) is None
+
+    def test_old_schema_invalidated(self):
+        # A v2 blob stamped with schema 1 must read as a miss — the
+        # schema bump is the v1-invalidation story.
+        data = bytearray(_encode_payload(_payload()))
+        struct.pack_into("<H", data, 4, CACHE_SCHEMA - 1)
+        assert _decode_payload(bytes(data)) is None
+
+    def test_json_era_entry_is_miss(self):
+        legacy = json.dumps(
+            {"schema": 1, "date": "2020-03-14", "delegations": []}
+        ).encode("utf-8")
+        assert _decode_payload(legacy) is None
+
+    def test_impossible_date(self):
+        data = bytearray(_encode_payload(_payload()))
+        struct.pack_into("<HBB", data, 6, 2020, 13, 40)
+        assert _decode_payload(bytes(data)) is None
+
+    def test_corrupt_file_logged_as_miss(self, tmp_path, caplog):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 10)
+        with caplog.at_level("WARNING", logger="repro.delegation.runner"):
+            assert _cache_read(path) is None
+        assert any("malformed" in r.message for r in caplog.records)
+
+
+class TestLayout:
+    def test_header_is_little_endian_and_self_described(self):
+        data = _encode_payload(_payload())
+        magic, schema, year, month, day = struct.unpack_from(
+            "<4sHHBB", data
+        )
+        assert magic == _CACHE_MAGIC == b"RPD2"
+        assert schema == CACHE_SCHEMA == 2
+        assert (year, month, day) == (2020, 3, 14)
+        counters = struct.unpack_from("<5Q", data, 10)
+        assert dict(zip(_COUNTER_FIELDS, counters)) == \
+            _payload()["counters"]
+        (count,) = struct.unpack_from("<I", data, 50)
+        assert count == 3
+
+    def test_quads_are_flat_u32_little_endian(self):
+        data = _encode_payload(_payload(quads=[(1, 2, 3, 4)]))
+        assert struct.unpack_from("<4I", data, _CACHE_HEADER.size) == \
+            (1, 2, 3, 4)

@@ -202,9 +202,11 @@ class TestCache:
             factory, START, END, InferenceConfig.extended(),
             as2org=as2org, jobs=1, cache_dir=cache,
         )
-        entries = sorted(cache.rglob("*.json"))
+        entries = sorted(cache.rglob("*.bin"))
         assert len(entries) == 15
-        entries[0].write_text("{ not json", encoding="utf-8")
+        # Truncated body and a foreign (old-JSON-era) payload must
+        # both read as misses, never as wrong results.
+        entries[0].write_bytes(entries[0].read_bytes()[:-3])
         entries[1].write_text(json.dumps({"schema": 1}), encoding="utf-8")
         healed = run_inference(
             factory, START, END, InferenceConfig.extended(),

@@ -1,0 +1,76 @@
+"""Property-based equivalence: SortedPrefixMap vs. the PrefixTrie.
+
+The sorted-array LPM kernel replaces the trie on the inference hot
+path, so the two must agree exactly — same results, same order — for
+``longest_match``, ``covering``, and ``covered`` on arbitrary prefix
+sets, including /0 and /32 edge lengths and duplicate inserts.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase.lpm import SortedPrefixMap
+from repro.netbase.prefix import MAX_ADDRESS, IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
+lengths = st.integers(min_value=0, max_value=32)
+# Edge lengths drawn often enough to exercise /0 and /32 every run.
+edgy_lengths = st.one_of(st.sampled_from([0, 32]), lengths)
+
+
+@st.composite
+def prefixes(draw):
+    return IPv4Prefix(draw(addresses), draw(edgy_lengths), strict=False)
+
+
+# Duplicate prefixes allowed on purpose: last insert must win in both
+# structures, so equivalence covers the overwrite semantics too.
+prefix_lists = st.lists(prefixes(), max_size=60)
+
+
+def _build(stored):
+    trie = PrefixTrie()
+    items = []
+    for index, prefix in enumerate(stored):
+        trie.insert(prefix, index)
+        items.append((prefix, index))
+    return trie, SortedPrefixMap(items)
+
+
+class TestTrieEquivalence:
+    @given(prefix_lists, prefixes())
+    def test_longest_match(self, stored, query):
+        trie, spm = _build(stored)
+        assert spm.longest_match(query) == trie.longest_match(query)
+
+    @given(prefix_lists, prefixes())
+    def test_covering(self, stored, query):
+        trie, spm = _build(stored)
+        assert list(spm.covering(query)) == list(trie.covering(query))
+
+    @given(prefix_lists, prefixes())
+    def test_covered(self, stored, query):
+        trie, spm = _build(stored)
+        assert list(spm.covered(query)) == list(trie.covered(query))
+
+    @given(prefix_lists, prefixes())
+    def test_exact_lookup(self, stored, query):
+        trie, spm = _build(stored)
+        assert (query in spm) == (query in trie)
+        assert spm.get(query) == trie.get(query)
+
+    @given(prefix_lists)
+    def test_items_agree(self, stored):
+        trie, spm = _build(stored)
+        assert len(spm) == len(trie)
+        assert sorted(spm.items()) == sorted(trie.items())
+
+    @given(prefix_lists)
+    def test_self_queries(self, stored):
+        # Every stored prefix, queried against the full set — hits the
+        # exact-match branches of covering/covered simultaneously.
+        trie, spm = _build(stored)
+        for prefix in stored:
+            assert spm.longest_match(prefix) == trie.longest_match(prefix)
+            assert list(spm.covered(prefix)) == list(trie.covered(prefix))

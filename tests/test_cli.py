@@ -64,7 +64,7 @@ class TestCommands:
         ]
         assert main(argv) == 0
         cold = capsys.readouterr().out
-        assert list(cache.rglob("*.json"))  # cache got populated
+        assert list(cache.rglob("*.bin"))  # cache got populated
         assert main(argv) == 0  # warm re-run: identical table
         assert capsys.readouterr().out == cold
 
@@ -254,3 +254,32 @@ class TestErrorPaths:
         assert "repro: error" not in completed.stderr
         assert "Traceback" not in completed.stderr
 
+
+
+class TestKernelFlag:
+    def test_kernel_flag_parses(self):
+        args = build_parser().parse_args(["infer", "--kernel", "object"])
+        assert args.kernel == "object"
+        assert build_parser().parse_args(["infer"]).kernel == "columnar"
+        assert build_parser().parse_args(["figures", "o"]).kernel == "columnar"
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--kernel", "simd"])
+
+    def test_object_kernel_matches_columnar(self, capsys):
+        argv = ["infer", "--step-days", "7", "--tail", "3"]
+        assert main(argv + ["--kernel", "columnar"]) == 0
+        columnar = capsys.readouterr().out
+        assert main(argv + ["--kernel", "object"]) == 0
+        assert capsys.readouterr().out == columnar
+
+    def test_manifest_records_kernel(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        assert main([
+            "infer", "--step-days", "14", "--tail", "1",
+            "--kernel", "object", "--metrics-out", str(manifest_path),
+        ]) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["extra"]["kernel"] == "object"
