@@ -570,6 +570,119 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_serve_flags(args: argparse.Namespace) -> None:
+    """Fail fast (exit 2, one line) on unusable serving flags."""
+    _check_runner_flags(args)
+    _check_out_path(getattr(args, "ready_file", None), "--ready-file")
+    for flag, value in (
+        ("--whois-port", args.whois_port), ("--http-port", args.http_port)
+    ):
+        if not 0 <= value <= 65535:
+            raise ReproError(f"{flag}: {value} is not a valid port")
+    if args.rate_limit <= 0:
+        raise ReproError(
+            f"--rate-limit must be positive (got {args.rate_limit:g})"
+        )
+    if args.burst < 1:
+        raise ReproError(f"--burst must be at least 1 (got {args.burst})")
+    if args.max_clients < 1:
+        raise ReproError(
+            f"--max-clients must be at least 1 (got {args.max_clients})"
+        )
+    if args.serve_seconds is not None and args.serve_seconds < 0:
+        raise ReproError(
+            f"--serve-seconds must be non-negative "
+            f"(got {args.serve_seconds:g})"
+        )
+    if args.drain_grace < 0:
+        raise ReproError(
+            f"--drain-grace must be non-negative (got {args.drain_grace:g})"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the always-on query serving layer.
+
+    Loads the WHOIS database, the inferred delegation set, the
+    transfer ledger, and the market statistics into memory, then
+    serves them over the WHOIS line protocol and the HTTP/JSON API
+    until SIGINT/SIGTERM (or ``--serve-seconds``) triggers a graceful
+    drain.
+    """
+    from repro.serve import QueryEngine, ReproServeServer, run_server
+
+    _check_serve_flags(args)
+    world = _build_world(args)
+    metrics = _registry_for(args)
+    with metrics.span("serve.load"):
+        engine = QueryEngine.from_world(
+            world,
+            include_inference=not args.no_infer,
+            step_days=args.step_days,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            kernel=args.kernel,
+            rate_limit_per_second=args.rate_limit,
+            burst=args.burst,
+            max_clients=args.max_clients,
+            metrics=metrics,
+        )
+    server = ReproServeServer(
+        engine,
+        host=args.host,
+        whois_port=args.whois_port,
+        http_port=args.http_port,
+        drain_grace=args.drain_grace,
+    )
+
+    def _banner(ready: ReproServeServer) -> None:
+        loaded = engine.loaded_summary()
+        print(render_table(
+            ["frontend", "endpoint"],
+            [
+                ["whois", f"{ready.host}:{ready.whois_port}"],
+                ["http", f"http://{ready.host}:{ready.http_port}"],
+            ],
+            title=(
+                f"repro serve — {loaded['inetnums']} inetnums, "
+                f"{loaded['delegations']} delegations, "
+                f"{loaded['transfers']} transfers loaded"
+            ),
+        ), flush=True)
+
+    run_server(
+        server,
+        serve_seconds=args.serve_seconds,
+        ready_path=args.ready_file,
+        on_ready=_banner,
+    )
+    if args.metrics_out is not None:
+        manifest = RunManifest(
+            command="serve",
+            config_digest=config_hash(world.config),
+            metrics=metrics,
+        )
+        manifest.extra["scale"] = args.scale
+        manifest.extra["seed"] = args.seed
+        manifest.extra["serve"] = server.health()
+        manifest.write(args.metrics_out)
+    _write_trace(args, metrics)
+    health = server.health()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["uptime", f"{health['uptimeSeconds']:.1f}s"],
+            ["connections", health["connections"]["total"]],
+            ["whois queries", health["queries"]["whois"]],
+            ["http requests", health["queries"]["http"]],
+            ["throttled", health["queries"]["throttled"]],
+            ["limiters evicted", health["limiters"]["evicted"]],
+        ],
+        title="Serving session summary",
+    ))
+    return 0
+
+
 def _cmd_manifest(args: argparse.Namespace) -> int:
     print(render_manifest(load_manifest(args.path)))
     return 0
@@ -584,8 +697,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_history(args: argparse.Namespace) -> int:
     """``repro history record/list/diff/check`` — cross-run tracking."""
-    history = RunHistory(args.history)
     sub = args.history_command
+    if sub == "record":
+        # The only subcommand that writes the store: validate the
+        # target like every other artifact-writing flag.
+        _check_out_path(args.history, "--history")
+    history = RunHistory(args.history)
     if sub == "record":
         entry = history.record(load_manifest(args.manifest))
         digest = (entry.get("config_hash") or "")[:12] or "-"
@@ -725,6 +842,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the (slow) full inference run")
     _add_runner_arguments(figures)
     figures.set_defaults(handler=_cmd_figures)
+
+    serve = commands.add_parser(
+        "serve",
+        help="always-on query server: whois line protocol + "
+             "HTTP/JSON API over the loaded delegation/transfer state",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--whois-port", type=int, default=4343, metavar="PORT",
+        help="whois line-protocol port; 0 picks an ephemeral port "
+             "(default 4343)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=8080, metavar="PORT",
+        help="HTTP/JSON API port; 0 picks an ephemeral port "
+             "(default 8080)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=50.0, metavar="QPS",
+        help="per-client sustained query rate (default 50/s)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=100, metavar="N",
+        help="per-client token-bucket burst capacity (default 100)",
+    )
+    serve.add_argument(
+        "--max-clients", type=int, default=4096, metavar="N",
+        help="rate-limiter table bound; least-recently-seen idle "
+             "clients are evicted past this (default 4096)",
+    )
+    serve.add_argument(
+        "--no-infer", action="store_true",
+        help="serve the whois database only; skip delegation "
+             "inference (faster startup, /delegations answers empty)",
+    )
+    serve.add_argument(
+        "--step-days", type=int, default=1,
+        help="inference snapshot stride in days (default 1)",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None, metavar="S",
+        help="shut down gracefully after S seconds (default: run "
+             "until SIGINT/SIGTERM)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="S",
+        help="seconds to wait for in-flight queries on shutdown "
+             "before cancelling them (default 5)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write '<host> <whois_port> <http_port>' to PATH once "
+             "both listeners are bound (for scripts and CI)",
+    )
+    _add_runner_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     advise = commands.add_parser(
         "advise", help="buy-or-lease comparison for a block size"

@@ -57,7 +57,21 @@ class RdapError(ReproError):
 
 
 class RdapRateLimitError(RdapError):
-    """The RDAP server rejected a query because of rate limiting (HTTP 429)."""
+    """The RDAP server rejected a query because of rate limiting (HTTP 429).
+
+    ``retry_after_seconds`` carries the server's retry hint as a number
+    so callers (client backoff, the HTTP ``Retry-After`` header) never
+    have to parse it back out of the message text.
+    """
+
+    def __init__(
+        self,
+        message: str = "rate limit exceeded",
+        *,
+        retry_after_seconds: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
 
 
 class RdapNotFoundError(RdapError):

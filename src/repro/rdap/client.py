@@ -143,10 +143,21 @@ class RdapClient:
                 if attempt == self._max_retries:
                     break
                 self._clock.sleep(delay)
-            except RdapRateLimitError:
+            except RdapRateLimitError as exc:
                 self.throttle_events += 1
                 self._metrics.inc("rdap.throttles")
                 delay = self._backoff.delay(attempt, key=str(prefix))
+                # The server's structured hint is authoritative when it
+                # asks for *more* patience than the local backoff; a
+                # shorter hint never cuts the jittered pacing short,
+                # and the policy's cap still bounds the wait (an
+                # uncapped hint would stall the clock for hours on a
+                # near-empty refill rate).
+                if exc.retry_after_seconds is not None:
+                    delay = max(delay, min(
+                        exc.retry_after_seconds,
+                        self._backoff.max_backoff_seconds,
+                    ))
                 logger.warning(
                     "throttled querying %s (attempt %d/%d); backing "
                     "off %.2fs", prefix, attempt + 1,

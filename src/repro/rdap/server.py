@@ -6,6 +6,7 @@ from typing import Dict, Optional
 
 from repro.errors import RdapNotFoundError, RdapRateLimitError
 from repro.netbase.prefix import IPv4Prefix, format_address
+from repro.obs.metrics import NULL, MetricsRegistry
 from repro.whois.database import WhoisDatabase
 from repro.whois.inetnum import InetnumObject
 
@@ -48,6 +49,22 @@ class RateLimiter:
             return 0.0
         return (1.0 - self._tokens) / self._rate
 
+    @property
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the last ``try_acquire`` call, if any."""
+        return self._last_time
+
+    def refilled_at(self, now: float) -> bool:
+        """True when the bucket would be full again at time ``now``.
+
+        A limiter in this state is indistinguishable from a freshly
+        constructed one, so evicting it never changes behaviour.
+        """
+        if self._last_time is None:
+            return True
+        elapsed = max(0.0, now - self._last_time)
+        return self._tokens + elapsed * self._rate >= self._capacity
+
 
 class RdapServer:
     """Serves RDAP ``ip`` lookups for one RIR's WHOIS database.
@@ -61,41 +78,115 @@ class RdapServer:
     forces the paper to seed queries from a WHOIS snapshot.
     """
 
+    #: Rate checks between idle-limiter sweeps (amortizes eviction).
+    SWEEP_INTERVAL = 256
+
     def __init__(
         self,
         database: WhoisDatabase,
         *,
         rate_limit_per_second: float = 10.0,
         burst: int = 20,
+        max_clients: int = 4096,
+        metrics: MetricsRegistry = NULL,
     ):
+        if max_clients < 1:
+            raise ValueError("max_clients must be positive")
         self._database = database
         self._rate = rate_limit_per_second
         self._burst = burst
+        self._max_clients = max_clients
+        self._metrics = metrics
+        # Insertion order doubles as least-recently-seen order: every
+        # rate check re-inserts the client's limiter at the end.
         self._limiters: Dict[str, RateLimiter] = {}
+        self._checks_since_sweep = 0
         self.query_count = 0
         self.throttled_count = 0
+        self.evicted_count = 0
 
     @property
     def database(self) -> WhoisDatabase:
         return self._database
 
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Route limiter/query accounting into ``metrics``."""
+        self._metrics = metrics
+
     # -- rate limiting ---------------------------------------------------
 
-    def _limiter_for(self, client_id: str) -> RateLimiter:
-        limiter = self._limiters.get(client_id)
+    @property
+    def live_limiter_count(self) -> int:
+        """Per-client limiter entries currently held in memory."""
+        return len(self._limiters)
+
+    def _sweep_idle(self, now: float) -> None:
+        """Evict limiter entries that no longer carry any state.
+
+        Two passes keep the table bounded without ever penalizing an
+        active client:
+
+        - *refilled* entries — buckets that would be full again at
+          ``now`` — are dropped outright; recreating one later yields
+          an identical limiter, so this eviction is lossless,
+        - if the table still exceeds ``max_clients`` (a flood of
+          clients all mid-bucket), the least-recently-seen entries are
+          dropped.  Those clients restart with a full bucket, trading
+          a one-off extra burst for bounded memory.
+        """
+        refilled = [
+            client_id
+            for client_id, limiter in self._limiters.items()
+            if limiter.refilled_at(now)
+        ]
+        for client_id in refilled:
+            del self._limiters[client_id]
+        overflow = len(self._limiters) - self._max_clients
+        if overflow > 0:
+            for client_id in list(self._limiters)[:overflow]:
+                del self._limiters[client_id]
+            self.evicted_count += overflow
+        self.evicted_count += len(refilled)
+        self._metrics.set_gauge(
+            "rdap.limiters.live", float(len(self._limiters))
+        )
+
+    def check_rate(self, client_id: str, now: float) -> None:
+        """Charge one query to ``client_id``'s token bucket at ``now``.
+
+        Raises :class:`~repro.errors.RdapRateLimitError` (with a
+        structured ``retry_after_seconds``) when the bucket is empty.
+        Every ``SWEEP_INTERVAL`` checks, idle limiter entries are
+        evicted so sustained many-client traffic cannot grow the
+        per-client table without bound.
+        """
+        limiter = self._limiters.pop(client_id, None)
         if limiter is None:
             limiter = RateLimiter(self._rate, self._burst)
-            self._limiters[client_id] = limiter
-        return limiter
-
-    def _check_rate(self, client_id: str, now: float) -> None:
-        limiter = self._limiter_for(client_id)
-        if not limiter.try_acquire(now):
+        # Re-insert at the end: dict order stays last-seen order.
+        self._limiters[client_id] = limiter
+        acquired = limiter.try_acquire(now)
+        # Sweep only after charging this client: its bucket is no
+        # longer refilled (a token was just spent at ``now``) and it
+        # sits at the recently-seen end, so it can never evict itself.
+        self._checks_since_sweep += 1
+        if (
+            self._checks_since_sweep >= self.SWEEP_INTERVAL
+            or len(self._limiters) > self._max_clients
+        ):
+            self._checks_since_sweep = 0
+            self._sweep_idle(now)
+        if not acquired:
             self.throttled_count += 1
+            self._metrics.inc("rdap.server.throttled")
+            retry_after = limiter.seconds_until_token()
             raise RdapRateLimitError(
-                f"rate limit exceeded; retry in "
-                f"{limiter.seconds_until_token():.2f}s"
+                f"rate limit exceeded; retry in {retry_after:.2f}s",
+                retry_after_seconds=retry_after,
             )
+
+    # Backwards-compatible private alias (pre-serving-layer callers).
+    _check_rate = check_rate
 
     # -- lookups --------------------------------------------------------------
 
@@ -114,6 +205,16 @@ class RdapServer:
         and :class:`~repro.errors.RdapRateLimitError` when throttled.
         """
         self._check_rate(client_id, now)
+        return self.lookup_object(prefix)
+
+    def lookup_object(self, prefix: IPv4Prefix) -> Dict[str, object]:
+        """The :meth:`lookup_ip` response, with no rate accounting.
+
+        The serving layer charges its own per-request rate check (one
+        per request, shared across frontends) and then answers through
+        this method, so socket responses stay byte-identical to the
+        in-memory server's.
+        """
         self.query_count += 1
         exact = self._database.find_exact_prefix(prefix)
         obj = exact or self._database.most_specific_containing(prefix)

@@ -1,0 +1,45 @@
+"""The always-on query serving layer.
+
+Turns the batch pipeline into a system: one
+:class:`~repro.serve.engine.QueryEngine` loads the WHOIS database, the
+inferred delegation set, the transfer ledger and the market statistics
+into memory, and :class:`~repro.serve.server.ReproServeServer` answers
+over a WHOIS line protocol and an HTTP/JSON (RDAP-shaped) API —
+byte-identical to the in-memory engines, shared rate limiting, graceful
+drain, obs-instrumented per request.
+"""
+
+from repro.serve.engine import (
+    DelegationIndex,
+    QueryEngine,
+    TransferIndex,
+    build_market_summary,
+    parse_prefix_text,
+)
+from repro.serve.protocol import (
+    HttpRequest,
+    ProtocolError,
+    http_response,
+    parse_http_head,
+    rdap_error_body,
+    render_json,
+    whois_throttle_line,
+)
+from repro.serve.server import ReproServeServer, run_server
+
+__all__ = [
+    "DelegationIndex",
+    "HttpRequest",
+    "ProtocolError",
+    "QueryEngine",
+    "ReproServeServer",
+    "TransferIndex",
+    "build_market_summary",
+    "http_response",
+    "parse_http_head",
+    "parse_prefix_text",
+    "rdap_error_body",
+    "render_json",
+    "run_server",
+    "whois_throttle_line",
+]

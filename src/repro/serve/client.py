@@ -1,0 +1,132 @@
+"""Minimal asyncio clients for the serving layer.
+
+Used by the protocol test-suite and the load-generator benchmark; they
+speak exactly the framing :mod:`repro.serve.protocol` defines and
+nothing more.  (Production consumers would use a real whois or HTTP
+client; these exist so the repo needs no HTTP dependency.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+
+async def whois_request(host: str, port: int, line: str) -> bytes:
+    """One classic port-43 exchange: send a line, read until close."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((line + "\r\n").encode("utf-8"))
+        await writer.drain()
+        return await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class WhoisSession:
+    """A persistent (``-k``) whois session: many queries, one socket."""
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._writer.write(b"-k\r\n")
+        await self._writer.drain()
+
+    async def query(self, line: str) -> str:
+        """Send one query; a response ends at two consecutive blank
+        lines (single blanks separate objects in ``-L``/``-m``
+        answers)."""
+        assert self._writer is not None and self._reader is not None
+        self._writer.write((line + "\r\n").encode("utf-8"))
+        await self._writer.drain()
+        chunks = []
+        blanks = 0
+        while True:
+            raw = await self._reader.readline()
+            if not raw:
+                break
+            if raw in (b"\n", b"\r\n"):
+                blanks += 1
+                if blanks == 2:
+                    break
+            else:
+                blanks = 0
+            chunks.append(raw.decode("utf-8"))
+        return "".join(chunks).rstrip("\n")
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.write(b"\r\n")  # empty line: end of session
+            with_suppress = (ConnectionResetError, BrokenPipeError)
+            try:
+                await self._writer.drain()
+                self._writer.close()
+                await self._writer.wait_closed()
+            except with_suppress:
+                pass
+
+
+class HttpSession:
+    """A keep-alive HTTP/1.1 session against the JSON frontend."""
+
+    def __init__(
+        self, host: str, port: int, *, client_id: Optional[str] = None
+    ):
+        self._host = host
+        self._port = port
+        self._client_id = client_id
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def get(
+        self, path: str
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """GET ``path``; returns (status, headers, body)."""
+        assert self._writer is not None and self._reader is not None
+        lines = [
+            f"GET {path} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+        ]
+        if self._client_id is not None:
+            lines.append(f"X-Client-Id: {self._client_id}")
+        request = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        self._writer.write(request)
+        await self._writer.drain()
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        head_lines = head.decode("latin-1").split("\r\n")
+        status = int(head_lines[0].split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            if not line:
+                continue
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = (
+            await self._reader.readexactly(length) if length else b""
+        )
+        return status, headers, body
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,133 @@
+"""Wire framing for the serving layer's two frontends.
+
+Kept separate from the asyncio plumbing so tests (and the load
+generator) can build and parse the exact bytes the server emits:
+
+- the canonical JSON encoding (:func:`render_json`) — sorted keys,
+  compact separators — which makes "byte-identical to the in-memory
+  engine" a well-defined assertion,
+- a minimal HTTP/1.1 request parser and response builder (the
+  container has no HTTP dependency; GET-only RDAP needs very little),
+- the WHOIS line-protocol error/throttle lines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Protocol limits: one query line / request head must fit these.
+MAX_LINE_BYTES = 1024
+MAX_HEADER_BYTES = 8192
+
+#: WHOIS throttle response (RIPE-style error line family).
+WHOIS_THROTTLE_TEMPLATE = (
+    "%ERROR:201: access control limit reached; retry after {seconds:.2f}s"
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def render_json(payload: object) -> bytes:
+    """The canonical response encoding for every JSON endpoint."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def rdap_error_body(code: int, title: str, description: str) -> dict:
+    """An RFC 7483 §6 error object (404s, 429s, bad queries)."""
+    return {
+        "errorCode": code,
+        "title": title,
+        "description": [description],
+        "rdapConformance": ["rdap_level_0"],
+    }
+
+
+def whois_throttle_line(retry_after_seconds: float) -> str:
+    return WHOIS_THROTTLE_TEMPLATE.format(seconds=retry_after_seconds)
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request head (bodies are read and discarded)."""
+
+    method: str
+    path: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes this frontend cannot parse."""
+
+
+def parse_http_head(head: bytes) -> HttpRequest:
+    """Parse the request head (request line + headers, no body)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise ProtocolError("undecodable request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    request = HttpRequest(
+        method=parts[0].upper(), path=parts[1], version=parts[2]
+    )
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        request.headers[name.strip().lower()] = value.strip()
+    return request
+
+
+def http_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    retry_after_seconds: Optional[float] = None,
+    head_only: bool = False,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after_seconds is not None:
+        # RFC 7231 delay-seconds is an integer; never round a positive
+        # wait down to an instant retry.
+        headers.append(
+            f"Retry-After: {max(1, math.ceil(retry_after_seconds))}"
+        )
+    head = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+    return head if head_only else head + body

@@ -92,7 +92,12 @@ def _throttling_client(max_retries, **kwargs):
 class TestClientBackoffCap:
     def test_capped_backoff_at_max_retries_boundary(self):
         """At ``max_retries`` the clock advances by the capped schedule,
-        not the unbounded doubling (which would be 0.5+1+2+4+8+16+32)."""
+        not the unbounded doubling (which would be 0.5+1+2+4+8+16+32).
+
+        The near-zero refill rate makes the server's structured
+        ``retry_after_seconds`` hint astronomical, so every honored
+        delay lands exactly on the 4s cap — never beyond it.
+        """
         client, clock = _throttling_client(
             7, backoff_seconds=0.5, max_backoff_seconds=4.0
         )
@@ -100,9 +105,9 @@ class TestClientBackoffCap:
         assert client.lookup_ip(prefix) is not None  # drains the bucket
         with pytest.raises(RdapError):
             client.lookup_ip(prefix)
-        # Delays slept: 0.5, 1, 2, 4, 4, 4, 4 (the last attempt does
-        # not sleep); uncapped doubling would have slept 63.5s.
-        assert clock.now() == pytest.approx(19.5)
+        # Delays slept: 4 x 7 (the last attempt does not sleep); the
+        # uncapped hint alone would have slept for ~31 years.
+        assert clock.now() == pytest.approx(28.0)
         assert client.throttle_events == 8
 
     def test_custom_policy_object(self):
@@ -118,11 +123,11 @@ class TestClientBackoffCap:
         assert clock.now() == pytest.approx(2.0)  # two flat 1s delays
 
     def test_default_cap_preserves_short_schedules(self):
-        """The default 30s cap never triggers for the default 5
-        retries (delays 0.5..8), so existing behaviour is unchanged."""
+        """A server hint beyond the cap is honored only up to the cap:
+        the default 30s ceiling bounds all five waits."""
         client, clock = _throttling_client(5)
         prefix = IPv4Prefix.parse("193.0.0.0/24")
         assert client.lookup_ip(prefix) is not None
         with pytest.raises(RdapError):
             client.lookup_ip(prefix)
-        assert clock.now() == pytest.approx(0.5 + 1 + 2 + 4 + 8)
+        assert clock.now() == pytest.approx(30.0 * 5)

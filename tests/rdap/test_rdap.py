@@ -151,3 +151,133 @@ class TestClient:
         clock = VirtualClock()
         with pytest.raises(ValueError):
             clock.sleep(-1)
+
+
+class TestStructuredRateLimitError:
+    def test_retry_after_attribute(self):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        server = RdapServer(db, rate_limit_per_second=0.5, burst=1)
+        server.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"), now=0.0)
+        with pytest.raises(RdapRateLimitError) as info:
+            server.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"), now=0.0)
+        # The retry hint is structured data, not buried in the text.
+        assert info.value.retry_after_seconds == pytest.approx(2.0)
+
+    def test_default_is_none(self):
+        assert RdapRateLimitError("ad-hoc").retry_after_seconds is None
+
+    def test_client_honors_hint_over_shorter_backoff(self):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        # Refill in 2s; local backoff alone would retry after 0.01s.
+        server = RdapServer(db, rate_limit_per_second=0.5, burst=1)
+        clock = VirtualClock()
+        client = RdapClient(
+            server, pace_seconds=0.0, backoff_seconds=0.01, clock=clock
+        )
+        client.lookup_ip(IPv4Prefix.parse("193.0.0.0/24"))
+        assert client.lookup_ip(
+            IPv4Prefix.parse("193.0.0.0/24")
+        ) is not None
+        # One throttled attempt, then a sleep long enough for the
+        # bucket to actually hold a token (the server's hint), rather
+        # than a storm of doomed 0.01s retries.
+        assert client.throttle_events == 1
+        assert clock.now() >= 2.0
+
+
+class TestLimiterEviction:
+    def _server(self, max_clients=4, rate=1.0, burst=2):
+        db = WhoisDatabase()
+        db.add_inetnum(make("193.0.0.0", "193.0.0.255"))
+        return RdapServer(
+            db, rate_limit_per_second=rate, burst=burst,
+            max_clients=max_clients,
+        )
+
+    def test_refilled_entries_swept(self):
+        server = self._server(max_clients=100, rate=1.0, burst=2)
+        server.check_rate("a", 0.0)
+        assert server.live_limiter_count == 1
+        # By t=10 the bucket has long refilled; the next sweep drops
+        # it.  Force a sweep by crossing the check interval.
+        for i in range(RdapServer.SWEEP_INTERVAL):
+            server.check_rate(f"c{i}", 10.0)
+        assert "a" not in server._limiters
+        assert server.evicted_count >= 1
+
+    def test_table_bounded_by_max_clients(self):
+        server = self._server(max_clients=8, rate=0.001, burst=2)
+        # A flood of distinct clients, all mid-bucket (nothing
+        # refills at rate 0.001): LRU overflow eviction must hold the
+        # table at the bound after every check.
+        for i in range(1000):
+            server.check_rate(f"client-{i}", float(i) * 1e-6)
+            assert server.live_limiter_count <= 8
+        assert server.evicted_count >= 992
+
+    def test_eviction_never_resets_active_bucket(self):
+        server = self._server(max_clients=50, rate=0.001, burst=2)
+        # Exhaust client A's bucket...
+        server.check_rate("A", 0.0)
+        server.check_rate("A", 0.0)
+        with pytest.raises(RdapRateLimitError):
+            server.check_rate("A", 0.0)
+        # ...then hammer enough other clients to trigger many sweeps.
+        # A's bucket is empty (not refilled) and A is recently seen,
+        # so no sweep may touch it.
+        for i in range(3 * RdapServer.SWEEP_INTERVAL):
+            try:
+                server.check_rate(f"other-{i % 40}", 0.01)
+            except RdapRateLimitError:
+                pass  # the hammer clients exhaust their own buckets
+        with pytest.raises(RdapRateLimitError):
+            server.check_rate("A", 0.01)
+
+    def test_gauge_tracks_live_count(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        server = self._server(max_clients=4)
+        server.set_metrics(metrics)
+        for i in range(2 * RdapServer.SWEEP_INTERVAL):
+            server.check_rate(f"c{i % 10}", float(i) * 1e-3)
+        gauge = metrics.to_json()["gauges"]["rdap.limiters.live"]
+        assert 0 < gauge <= 10
+
+    def test_max_clients_validation(self):
+        with pytest.raises(ValueError):
+            self._server(max_clients=0)
+
+    def test_tokens_never_exceed_capacity_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=5),  # client
+                    st.floats(
+                        min_value=0.0, max_value=0.5,
+                        allow_nan=False,  # clock increment
+                    ),
+                ),
+                max_size=200,
+            )
+        )
+        def run(ops):
+            server = self._server(max_clients=3, rate=10.0, burst=4)
+            now = 0.0
+            for client, delta in ops:
+                now += delta
+                try:
+                    server.check_rate(f"c{client}", now)
+                except RdapRateLimitError:
+                    pass
+                for limiter in server._limiters.values():
+                    assert 0.0 <= limiter._tokens <= limiter._capacity
+                assert server.live_limiter_count <= 3 + 1
+
+        run()

@@ -1,0 +1,38 @@
+"""Shared fixtures for the serving-layer suite.
+
+The expensive load (delegation inference) happens once per session;
+individual tests then bind throwaway servers on ephemeral ports.
+"""
+
+import pytest
+
+from repro.rdap.server import RdapServer
+from repro.serve import QueryEngine
+from repro.simulation import World, small_scenario
+from repro.whois.server import WhoisServer
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World(small_scenario(seed=42))
+
+
+@pytest.fixture(scope="session")
+def engine(world):
+    """A fully loaded engine with a limit too high to ever throttle."""
+    return QueryEngine.from_world(
+        world,
+        step_days=7,
+        rate_limit_per_second=1e6,
+        burst=1_000_000,
+    )
+
+
+@pytest.fixture
+def tight_engine(world):
+    """A delegation-less engine with a tiny burst, for throttle tests."""
+    database = world.whois()
+    return QueryEngine(
+        whois=WhoisServer(database),
+        rdap=RdapServer(database, rate_limit_per_second=0.5, burst=2),
+    )

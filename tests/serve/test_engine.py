@@ -1,0 +1,163 @@
+"""Tests for the shared query core behind both frontends."""
+
+import datetime
+
+import pytest
+
+from repro.delegation.model import DailyDelegations
+from repro.errors import PrefixError
+from repro.netbase.prefix import IPv4Prefix
+from repro.serve.engine import (
+    DelegationIndex,
+    TransferIndex,
+    parse_prefix_text,
+)
+
+
+class TestParsePrefixText:
+    def test_bare_address_is_host_route(self):
+        assert parse_prefix_text("193.0.4.7") == IPv4Prefix.parse(
+            "193.0.4.7/32"
+        )
+
+    def test_prefix_tolerates_host_bits(self):
+        # Registry endpoints accept 193.0.4.7/24 (host bits set).
+        assert parse_prefix_text("193.0.4.7/24") == IPv4Prefix.parse(
+            "193.0.4.0/24"
+        )
+
+    def test_garbage_raises(self):
+        with pytest.raises((PrefixError, ValueError)):
+            parse_prefix_text("not-a-prefix")
+
+
+def _daily(*entries):
+    daily = DailyDelegations()
+    for day, prefix, delegator, delegatee in entries:
+        daily.record(
+            day, [(IPv4Prefix.parse(prefix), delegator, delegatee)]
+        )
+    return daily
+
+
+class TestDelegationIndex:
+    def test_empty_index(self):
+        index = DelegationIndex()
+        assert len(index) == 0
+        result = index.lookup(IPv4Prefix.parse("10.0.0.0/8"))
+        assert result["covering"] == []
+        assert result["longestMatch"] is None
+        assert result["snapshotDate"] is None
+        assert index.as_history(65000)["count"] == 0
+
+    def test_snapshot_is_latest_day(self):
+        d1 = datetime.date(2020, 1, 1)
+        d2 = datetime.date(2020, 1, 2)
+        index = DelegationIndex(_daily(
+            (d1, "10.0.0.0/16", 100, 200),
+            (d2, "10.0.0.0/16", 100, 200),
+            (d1, "10.9.0.0/16", 100, 300),  # gone by d2: not current
+        ))
+        assert index.snapshot_date == d2
+        assert len(index) == 1
+        gone = index.lookup(IPv4Prefix.parse("10.9.0.0/16"))
+        assert gone["covering"] == []
+
+    def test_covering_order_and_longest_match(self):
+        day = datetime.date(2020, 6, 1)
+        index = DelegationIndex(_daily(
+            (day, "10.0.0.0/8", 1, 2),
+            (day, "10.1.0.0/16", 1, 3),
+        ))
+        result = index.lookup(IPv4Prefix.parse("10.1.2.0/24"))
+        prefixes = [e["prefix"] for e in result["covering"]]
+        assert prefixes == ["10.0.0.0/8", "10.1.0.0/16"]
+        assert result["longestMatch"]["prefix"] == "10.1.0.0/16"
+        assert result["longestMatch"]["delegations"] == [
+            {"delegatorAsn": 1, "delegateeAsn": 3}
+        ]
+
+    def test_as_history_roles_and_dates(self):
+        d1 = datetime.date(2020, 1, 1)
+        d2 = datetime.date(2020, 1, 3)
+        index = DelegationIndex(_daily(
+            (d1, "10.0.0.0/16", 100, 200),
+            (d2, "10.0.0.0/16", 100, 200),
+        ))
+        delegator = index.as_history(100)
+        delegatee = index.as_history(200)
+        assert delegator["count"] == 1
+        assert delegator["delegations"][0]["role"] == "delegator"
+        record = delegatee["delegations"][0]
+        assert record["role"] == "delegatee"
+        assert record["firstSeen"] == "2020-01-01"
+        assert record["lastSeen"] == "2020-01-03"
+        assert record["daysSeen"] == 2
+        assert record["active"] is True
+
+
+class TestTransferIndex:
+    def test_empty(self):
+        index = TransferIndex()
+        assert len(index) == 0
+        result = index.lookup(IPv4Prefix.parse("10.0.0.0/8"))
+        assert result == {
+            "query": "10.0.0.0/8", "covering": [], "within": [],
+        }
+
+    def test_world_ledger_round_trip(self, world):
+        ledger = world.transfer_ledger()
+        index = TransferIndex(ledger)
+        assert len(index) == len(ledger.records())
+        record = ledger.records()[0]
+        prefix = record.prefixes[0]
+        result = index.lookup(prefix)
+        hits = result["covering"] + result["within"]
+        assert any(
+            h["transferId"] == record.transfer_id for h in hits
+        )
+        # Camel-case JSON shape, dates ISO-formatted.
+        sample = hits[0]
+        assert set(sample) >= {
+            "transferId", "date", "prefixes", "sourceOrg",
+            "recipientOrg", "type", "pricePerAddress",
+        }
+        datetime.date.fromisoformat(sample["date"])
+
+
+class TestQueryEngine:
+    def test_loaded_summary(self, engine):
+        loaded = engine.loaded_summary()
+        assert loaded["inetnums"] > 0
+        assert loaded["delegations"] > 0
+        assert loaded["transfers"] > 0
+        assert loaded["marketStats"] > 0
+
+    def test_whois_byte_identity_with_server(self, engine):
+        obj = next(engine.whois.database.inetnums())
+        line = str(obj.primary_prefix())
+        assert engine.whois_query(line) == engine.whois.query(line)
+
+    def test_rdap_matches_unmetered_lookup(self, engine):
+        obj = next(engine.whois.database.inetnums())
+        prefix = obj.primary_prefix()
+        assert engine.rdap_ip(prefix) == engine.rdap.lookup_object(prefix)
+
+    def test_market_summary_shape(self, engine):
+        summary = engine.market_summary()
+        assert summary["pricedTransactions"] > 0
+        assert "meanPrice2020PerIp" in summary
+        assert set(summary["perRir"]) == {
+            "ripencc", "arin", "apnic", "lacnic", "afrinic",
+        }
+
+    def test_shared_rate_buckets(self, tight_engine):
+        from repro.errors import RdapRateLimitError
+
+        # burst=2: two queries pass, the third throttles — regardless
+        # of which frontend charged the earlier ones.
+        tight_engine.check_rate("c", 0.0)
+        tight_engine.check_rate("c", 0.0)
+        with pytest.raises(RdapRateLimitError) as info:
+            tight_engine.check_rate("c", 0.0)
+        assert info.value.retry_after_seconds == pytest.approx(2.0)

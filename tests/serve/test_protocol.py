@@ -1,0 +1,108 @@
+"""Unit tests for the serving layer's wire framing."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    HttpRequest,
+    ProtocolError,
+    http_response,
+    parse_http_head,
+    rdap_error_body,
+    render_json,
+    whois_throttle_line,
+)
+
+
+class TestRenderJson:
+    def test_canonical_encoding(self):
+        payload = {"b": 1, "a": [1, 2], "c": {"y": None, "x": "é"}}
+        encoded = render_json(payload)
+        # Sorted keys, compact separators, ascii-escaped — and stable.
+        assert encoded == (
+            b'{"a":[1,2],"b":1,"c":{"x":"\\u00e9","y":null}}'
+        )
+        assert json.loads(encoded) == payload
+        assert render_json(payload) == encoded
+
+    def test_error_body_shape(self):
+        body = rdap_error_body(429, "rate limit exceeded", "slow down")
+        assert body["errorCode"] == 429
+        assert body["description"] == ["slow down"]
+        assert body["rdapConformance"] == ["rdap_level_0"]
+
+
+class TestWhoisThrottleLine:
+    def test_format(self):
+        line = whois_throttle_line(1.5)
+        assert line.startswith("%ERROR:201:")
+        assert "1.50s" in line
+
+
+class TestParseHttpHead:
+    def test_basic_get(self):
+        request = parse_http_head(
+            b"GET /ip/193.0.0.0/16 HTTP/1.1\r\n"
+            b"Host: localhost\r\nX-Client-Id: abc\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/ip/193.0.0.0/16"
+        assert request.version == "HTTP/1.1"
+        assert request.header("x-client-id") == "abc"
+        assert request.header("X-Client-Id") == "abc"  # case folded
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET /only-two-parts\r\n")
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET / SPDY/1\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            parse_http_head(b"GET / HTTP/1.1\r\nno-colon-here\r\n")
+
+
+class TestKeepAlive:
+    def test_http11_default_keep_alive(self):
+        assert HttpRequest("GET", "/", "HTTP/1.1").keep_alive
+        assert not HttpRequest(
+            "GET", "/", "HTTP/1.1", {"connection": "close"}
+        ).keep_alive
+
+    def test_http10_default_close(self):
+        assert not HttpRequest("GET", "/", "HTTP/1.0").keep_alive
+        assert HttpRequest(
+            "GET", "/", "HTTP/1.0", {"connection": "keep-alive"}
+        ).keep_alive
+
+
+class TestHttpResponse:
+    def test_status_line_and_length(self):
+        raw = http_response(200, b'{"a":1}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 7" in head
+        assert body == b'{"a":1}'
+
+    def test_retry_after_rounds_up(self):
+        raw = http_response(429, b"{}", retry_after_seconds=0.03)
+        # RFC 7231 delay-seconds: integral, and a positive wait must
+        # never round down to "retry immediately".
+        assert b"Retry-After: 1\r\n" in raw
+        raw = http_response(429, b"{}", retry_after_seconds=2.2)
+        assert b"Retry-After: 3\r\n" in raw
+
+    def test_no_retry_after_by_default(self):
+        assert b"Retry-After" not in http_response(200, b"{}")
+
+    def test_head_only_omits_body(self):
+        raw = http_response(200, b'{"a":1}', head_only=True)
+        assert raw.endswith(b"\r\n\r\n")
+        assert b"Content-Length: 7" in raw  # length of the GET body
+
+    def test_connection_header(self):
+        assert b"Connection: keep-alive" in http_response(200, b"")
+        assert b"Connection: close" in http_response(
+            200, b"", keep_alive=False
+        )

@@ -283,3 +283,86 @@ class TestKernelFlag:
         capsys.readouterr()
         manifest = json.loads(manifest_path.read_text())
         assert manifest["extra"]["kernel"] == "object"
+
+
+class TestServeCommand:
+    """The `repro serve` subcommand: flags, validation, smoke run."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.whois_port == 4343
+        assert args.http_port == 8080
+        assert args.rate_limit == 50.0
+        assert args.burst == 100
+        assert args.max_clients == 4096
+        assert args.serve_seconds is None
+        assert args.drain_grace == 5.0
+        assert args.ready_file is None
+        assert not args.no_infer
+
+    def _fail(self, argv, capsys, match):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("repro: error:")
+        assert match in err_lines[0]
+
+    def test_bad_port(self, capsys):
+        self._fail(
+            ["serve", "--whois-port", "99999"], capsys, "--whois-port"
+        )
+        self._fail(
+            ["serve", "--http-port", "-1"], capsys, "--http-port"
+        )
+
+    def test_bad_limiter_flags(self, capsys):
+        self._fail(["serve", "--rate-limit", "0"], capsys, "--rate-limit")
+        self._fail(["serve", "--burst", "0"], capsys, "--burst")
+        self._fail(
+            ["serve", "--max-clients", "0"], capsys, "--max-clients"
+        )
+
+    def test_bad_durations(self, capsys):
+        self._fail(
+            ["serve", "--serve-seconds", "-1"], capsys, "--serve-seconds"
+        )
+        self._fail(
+            ["serve", "--drain-grace", "-0.5"], capsys, "--drain-grace"
+        )
+
+    def test_ready_file_missing_parent(self, tmp_path, capsys):
+        self._fail(
+            ["serve", "--ready-file", str(tmp_path / "no" / "r.txt")],
+            capsys, "--ready-file",
+        )
+
+    def test_history_record_missing_parent(self, tmp_path, capsys):
+        self._fail(
+            [
+                "history", "--history", str(tmp_path / "no" / "h.jsonl"),
+                "record", str(tmp_path / "m.json"),
+            ],
+            capsys, "--history",
+        )
+
+    def test_smoke_run_with_artifacts(self, tmp_path, capsys):
+        ready = tmp_path / "ready.txt"
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "serve", "--no-infer",
+            "--whois-port", "0", "--http-port", "0",
+            "--serve-seconds", "0.2",
+            "--ready-file", str(ready),
+            "--metrics-out", str(manifest),
+        ]) == 0
+        host, whois_port, http_port = ready.read_text().split()
+        assert host == "127.0.0.1"
+        assert int(whois_port) > 0 and int(http_port) > 0
+        out = capsys.readouterr().out
+        assert "repro serve" in out
+        assert "Serving session summary" in out
+        payload = json.loads(manifest.read_text())
+        assert payload["command"] == "serve"
+        assert payload["extra"]["serve"]["status"] == "draining"
