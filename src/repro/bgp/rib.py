@@ -105,6 +105,25 @@ class PairTable:
             )
         return cls.from_aggregate(aggregate)
 
+    def column_at(self, index: int) -> Tuple[int, int, int, int]:
+        """One entry as ``(key, origin, flags, monitors)`` — the unit
+        day-over-day deltas (:mod:`repro.delegation.delta`) move."""
+        return (
+            self.keys[index],
+            self.origins[index],
+            self.flags[index],
+            self.monitor_counts[index],
+        )
+
+    def equals(self, other: "PairTable") -> bool:
+        """Exact column equality (same pairs, same observed facts)."""
+        return (
+            self.keys == other.keys
+            and self.origins == other.origins
+            and self.flags == other.flags
+            and self.monitor_counts == other.monitor_counts
+        )
+
     def rows(self) -> Iterator[Tuple[IPv4Prefix, Optional[int], int]]:
         """Yield ``(prefix, sole_origin_or_None, monitor_count)``."""
         for index, key in enumerate(self.keys):

@@ -101,6 +101,19 @@ def _check_runner_flags(args: argparse.Namespace) -> None:
             ) from exc
         if not os.access(path, os.W_OK):
             raise ReproError(f"--cache-dir: {path} is not writable")
+    journal = getattr(args, "journal", None)
+    if journal is not None:
+        if not getattr(args, "incremental", False):
+            raise ReproError("--journal requires --incremental")
+        path = pathlib.Path(journal)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"--journal: cannot create {path}: {exc}"
+            ) from exc
+        if not os.access(path, os.W_OK):
+            raise ReproError(f"--journal: {path} is not writable")
     _check_obs_flags(args)
 
 
@@ -226,16 +239,25 @@ def _write_infer_manifest(
     if config.same_org_filter:
         manifest.add_input("as2org", world.as2org().fingerprint())
     _pipeline_stage_table(manifest, metrics)
-    hits = misses = 0
+    hits = misses = replayed = fastpathed = 0
+    incremental = False
     for result in results:
         stats = result.runner_stats
         if stats is not None:
             hits += stats.days_from_cache
             misses += stats.days_computed
+            incremental = incremental or stats.incremental
+            replayed += stats.days_replayed
+            fastpathed += stats.days_fastpathed
     manifest.cache = {"hits": hits, "misses": misses}
     manifest.extra["scale"] = args.scale
     manifest.extra["seed"] = args.seed
     manifest.extra["kernel"] = getattr(args, "kernel", "columnar")
+    if incremental:
+        manifest.extra["incremental"] = {
+            "days_replayed": replayed,
+            "days_fastpathed": fastpathed,
+        }
     manifest.write(args.metrics_out)
 
 
@@ -353,6 +375,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         metrics=metrics,
         kernel=args.kernel,
+        incremental=args.incremental,
+        journal_dir=args.journal,
     )
     if args.metrics_out is not None:
         _write_infer_manifest(
@@ -521,13 +545,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.extended(), as2org=world.as2org(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
-            kernel=args.kernel,
+            kernel=args.kernel, incremental=args.incremental,
+            journal_dir=args.journal,
         )
         baseline = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.baseline(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
-            kernel=args.kernel,
+            kernel=args.kernel, incremental=args.incremental,
+            journal_dir=args.journal,
         )
         results = [extended, baseline]
         written.append(
@@ -622,6 +648,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             kernel=args.kernel,
+            incremental=args.incremental,
+            journal_dir=args.journal,
             rate_limit_per_second=args.rate_limit,
             burst=args.burst,
             max_clients=args.max_clients,
@@ -749,6 +777,18 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-day inference implementation: 'columnar' packed "
              "arrays (fast, default) or the 'object' trie reference "
              "path; both produce byte-identical results",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="day-over-day delta inference: seed from the first day, "
+             "apply per-day deltas instead of re-running the full "
+             "kernel; output is byte-identical to a full sweep",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal incremental sweeps as NRTM-style delta entries "
+             "under DIR; re-runs replay the journal and longer "
+             "windows extend it (requires --incremental)",
     )
     _add_obs_arguments(parser)
 

@@ -9,7 +9,11 @@
 - :mod:`~repro.delegation.consistency` — the "(M, N)" consistency-rule
   family, gap filling, and fail-rate evaluation,
 - :mod:`~repro.delegation.runner` — parallel day fan-out with an
-  on-disk, content-addressed result cache,
+  on-disk, content-addressed result cache and an ``--incremental``
+  mode that replays / extends a day-over-day delta journal,
+- :mod:`~repro.delegation.delta` — day-over-day :class:`PairTable`
+  deltas, the incremental filter state machine, and the NRTM-style
+  hash-chained delta journal,
 - :mod:`~repro.delegation.rpki_eval` — Fig. 5: rule validation against
   RPKI delegation timelines,
 - :mod:`~repro.delegation.rdap_extract` — the RDAP pipeline (§4),
@@ -27,6 +31,16 @@ from repro.delegation.consistency import (
     ConsistencyRule,
     evaluate_rule,
     fill_gaps,
+)
+from repro.delegation.delta import (
+    DeltaJournal,
+    DeltaState,
+    LiveDeltaHandle,
+    PairDelta,
+    apply_delta,
+    diff_pair_tables,
+    journal_key,
+    journal_path,
 )
 from repro.delegation.io import (
     read_daily_delegations,
@@ -55,6 +69,14 @@ __all__ = [
     "CoverageReport",
     "DailyDelegations",
     "DelegationInference",
+    "DeltaJournal",
+    "DeltaState",
+    "LiveDeltaHandle",
+    "PairDelta",
+    "apply_delta",
+    "diff_pair_tables",
+    "journal_key",
+    "journal_path",
     "FusedDelegation",
     "FusionReport",
     "InferenceConfig",

@@ -9,6 +9,7 @@ losslessly through :class:`~repro.delegation.model.DailyDelegations`.
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
 import pathlib
 from typing import List, Union
@@ -16,6 +17,30 @@ from typing import List, Union
 from repro.delegation.model import DailyDelegations, DelegationKey
 from repro.errors import DatasetError
 from repro.netbase.prefix import IPv4Prefix
+
+
+def canonical_json(payload: object) -> str:
+    """The one canonical JSON form content addresses are taken over.
+
+    Sorted keys, no whitespace: the same logical payload always
+    serializes to the same bytes, across processes and Python
+    versions.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(payload: object) -> str:
+    """sha256 hex digest of the canonical JSON form of ``payload``.
+
+    The shared content-address primitive: the runner's per-day v2
+    cache keys and the delta journal's file names and hash-chained
+    entry digests (:mod:`repro.delegation.delta`) all address content
+    through here, so one definition of "same payload" governs every
+    on-disk artifact.
+    """
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
 
 
 def key_to_json(key: DelegationKey) -> List[object]:

@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.asorg.as2org import As2OrgDataset
 from repro.bgp.stream import RouteStream, date_range
+from repro.delegation import delta as delta_mod
 from repro.delegation.consistency import fill_gaps
 from repro.delegation.inference import (
     KERNELS,
@@ -66,6 +67,7 @@ from repro.delegation.inference import (
     InferenceResult,
     record_pipeline_counters,
 )
+from repro.delegation.io import content_digest
 from repro.delegation.model import DailyDelegations
 from repro.errors import ReproError
 from repro.netbase.prefix import IPv4Prefix
@@ -160,6 +162,13 @@ class RunnerStats:
     days_computed: int
     elapsed_seconds: float
     cache_dir: Optional[str] = None
+    #: Incremental-mode accounting: journal-replayed days never touch
+    #: the stream at all; fast-pathed days reused the previous day's
+    #: delegation rows because their delta left the survivors alone.
+    incremental: bool = False
+    days_replayed: int = 0
+    days_fastpathed: int = 0
+    journal: Optional[str] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -185,7 +194,7 @@ def _cache_key(
     (iv) is on — toggling datasets cannot invalidate runs that never
     consulted them.
     """
-    payload = {
+    return content_digest({
         "schema": CACHE_SCHEMA,
         "date": date.isoformat(),
         "visibility_threshold": repr(config.visibility_threshold),
@@ -194,9 +203,7 @@ def _cache_key(
         "sanitize": config.sanitize,
         "input": input_fingerprint,
         "as2org": as2org_fingerprint if config.same_org_filter else None,
-    }
-    text = json.dumps(payload, sort_keys=True)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    })
 
 
 def _cache_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
@@ -441,11 +448,306 @@ def _worker_run_chunk(
     return payloads, registry
 
 
+def _worker_diff_chunk(
+    dates: Sequence[datetime.date],
+    prev_date: Optional[datetime.date],
+) -> Tuple[List[tuple], Optional[MetricsRegistry]]:
+    """Diff one shard of consecutive days against their predecessors.
+
+    Each worker rebuilds its chunk's anchor day (``prev_date``; one
+    duplicated table build per chunk — streams are deterministic, so
+    the anchor equals the previous chunk's last table exactly) and
+    returns small ``("delta", date, PairDelta)`` items; the first
+    chunk of a cold sweep returns the full ``("seed", ...)`` table.
+    The parent applies them in order through one
+    :class:`~repro.delegation.delta.DeltaState`.
+    """
+    stream = _WORKER_STATE.get("stream")
+    if stream is None:
+        stream = _WORKER_STATE["factory"]()
+        _WORKER_STATE["stream"] = stream
+        _WORKER_STATE["total_monitors"] = stream.monitor_count()
+    total_monitors = _WORKER_STATE["total_monitors"]
+    registry: Optional[MetricsRegistry] = None
+    if _WORKER_STATE.get("instrument"):
+        registry = _worker_registry()
+        if hasattr(stream, "set_metrics"):
+            stream.set_metrics(registry)
+    span = registry.span if registry is not None else None
+    items: List[tuple] = []
+    if prev_date is None:
+        prev_table = stream.pair_table_on(dates[0])
+        items.append(("seed", dates[0], prev_table, total_monitors))
+        rest = dates[1:]
+    else:
+        prev_table = stream.pair_table_on(prev_date)
+        rest = dates
+    for date in rest:
+        if span is not None:
+            with span("runner.diff.day"):
+                table = stream.pair_table_on(date)
+                day_delta = delta_mod.diff_pair_tables(prev_table, table)
+        else:
+            table = stream.pair_table_on(date)
+            day_delta = delta_mod.diff_pair_tables(prev_table, table)
+        items.append(("delta", date, day_delta, total_monitors))
+        prev_table = table
+    if registry is not None:
+        registry.inc("runner.chunks")
+    return items, registry
+
+
 # -- parent side ----------------------------------------------------------
 
 
 def _chunk(items: Sequence, size: int) -> List[List]:
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _diff_parallel(
+    stream_factory: StreamFactory,
+    config: InferenceConfig,
+    as2org: Optional[As2OrgDataset],
+    dates: Sequence[datetime.date],
+    prev_date: Optional[datetime.date],
+    jobs: int,
+    metrics: MetricsRegistry = NULL,
+) -> List[tuple]:
+    """Fan day-over-day diffing out over a process pool.
+
+    Chunks are contiguous; chunk *c* anchors on the last date of chunk
+    *c − 1* (or ``prev_date`` / a fresh seed for the first), so every
+    delta item still describes consecutive sweep days.  The items come
+    back small — applying them stays sequential in the parent, where
+    the single :class:`~repro.delegation.delta.DeltaState` lives.
+    """
+    workers = min(jobs, len(dates))
+    chunk_size = max(1, -(-len(dates) // (workers * _CHUNKS_PER_WORKER)))
+    chunks = _chunk(dates, chunk_size)
+    anchors: List[Optional[datetime.date]] = [prev_date] + [
+        chunk[-1] for chunk in chunks[:-1]
+    ]
+    items: List[tuple] = []
+    executor = concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(
+            stream_factory, config, as2org, metrics.enabled,
+            getattr(metrics, "trace", None) is not None,
+            metrics.memory_profiling,
+            "columnar",
+        ),
+    )
+    try:
+        futures = [
+            executor.submit(_worker_diff_chunk, chunk, anchor)
+            for chunk, anchor in zip(chunks, anchors)
+        ]
+        for future in futures:
+            try:
+                chunk_items, worker_registry = future.result()
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ReproError(
+                    "delegation-delta worker failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            items.extend(chunk_items)
+            if worker_registry is not None:
+                metrics.merge(worker_registry)
+                metrics.inc("runner.worker_registries_merged")
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return items
+
+
+def _run_incremental(
+    stream_factory: StreamFactory,
+    config: InferenceConfig,
+    as2org: Optional[As2OrgDataset],
+    dates: Sequence[datetime.date],
+    step_days: int,
+    jobs: int,
+    journal_dir: Optional[Union[str, pathlib.Path]],
+    metrics: MetricsRegistry,
+) -> Tuple[Dict[datetime.date, dict], dict]:
+    """The incremental sweep: journal replay, then delta compute.
+
+    Replay folds the journal's stored row deltas and counters — no
+    stream build, no classification, no cover pass; only a partial
+    replay (more days requested than journaled) additionally rebuilds
+    the :class:`~repro.delegation.delta.DeltaState` from the pair
+    deltas so computation can continue where the journal ends.  Every
+    newly computed day is journaled *before* its payload is used, so a
+    crash anywhere resumes from the last appended day.
+    """
+    info = {
+        "days_replayed": 0,
+        "days_fastpathed": 0,
+        "days_computed": 0,
+        "rows": [],
+        "journal": None,
+    }
+    payloads: Dict[datetime.date, dict] = {}
+    if not dates:
+        return payloads, info
+
+    journal: Optional[delta_mod.DeltaJournal] = None
+    entries: List[dict] = []
+    if journal_dir is not None:
+        fingerprint = getattr(stream_factory, "fingerprint", None)
+        if fingerprint is None:
+            raise ReproError(
+                "journaling requires a stream factory with a "
+                "fingerprint() identifying its input data"
+            )
+        as2org_fp = (
+            as2org.fingerprint() if config.same_org_filter else None
+        )
+        key = delta_mod.journal_key(
+            config, fingerprint(), as2org_fp, dates[0], step_days
+        )
+        journal = delta_mod.DeltaJournal(
+            delta_mod.journal_path(journal_dir, key)
+        )
+        info["journal"] = str(journal.path)
+        entries = journal.read()
+
+    state: Optional[delta_mod.DeltaState] = None
+    rows: List[Tuple[int, int, int]] = []
+    pairs_added = pairs_removed = 0
+    usable = entries[:len(dates)]
+    # Partial replays must hand a live DeltaState to the compute loop;
+    # full replays never need one (rows and counters are stored).
+    need_state = len(usable) < len(dates)
+
+    with metrics.span("runner.incremental.replay"):
+        replayed = 0
+        for k, entry in enumerate(usable):
+            if entry["date"] != dates[k].isoformat():
+                # A valid chain with the wrong dates is a foreign
+                # journal (the key should prevent this) — fall back to
+                # computing, and never append behind its tail.
+                logger.warning(
+                    "delta journal %s: entry %d dated %s, expected "
+                    "%s; ignoring the journal from here",
+                    journal.path if journal else "<none>",
+                    k + 1, entry["date"], dates[k].isoformat(),
+                )
+                journal = None
+                need_state = True
+                break
+            if entry["kind"] == "seed":
+                rows = [tuple(row) for row in entry["quads"]]
+                if need_state:
+                    state = delta_mod.DeltaState(
+                        config, int(entry["total_monitors"])
+                    )
+                    state.seed(delta_mod.table_from_entry(entry))
+            else:
+                rows = delta_mod.fold_entry_rows(rows, entry)
+                if need_state:
+                    state.apply(delta_mod.delta_from_entry(entry))
+            payloads[dates[k]] = {
+                "date": dates[k],
+                "delegations": delta_mod.rows_to_quads(rows),
+                "counters": dict(entry["counters"]),
+            }
+            replayed += 1
+        info["days_replayed"] = replayed
+    # Appending must continue the on-disk serial sequence: a journal
+    # holding *more* days than this narrower window stays read-only.
+    writable = journal is not None and journal.serial == replayed
+
+    remaining = list(dates[replayed:])
+    info["days_computed"] = len(remaining)
+    if remaining:
+        serial = replayed
+        with metrics.span("runner.incremental.compute"):
+            if jobs > 1 and len(remaining) > 1:
+                # Without a live state to continue from (cold start or
+                # a foreign-journal fallback) the first worker chunk
+                # must produce a fresh seed.
+                prev_date = (
+                    dates[replayed - 1]
+                    if replayed and state is not None else None
+                )
+                items = _diff_parallel(
+                    stream_factory, config, as2org, remaining,
+                    prev_date, jobs, metrics,
+                )
+            else:
+                items = None
+            if items is None:
+                stream = stream_factory()
+                if metrics.enabled and hasattr(stream, "set_metrics"):
+                    stream.set_metrics(metrics)
+                total_monitors = stream.monitor_count()
+                prev_table = (
+                    state.to_table() if state is not None else None
+                )
+
+                def _iter_items():
+                    nonlocal prev_table
+                    for date in remaining:
+                        table = stream.pair_table_on(date)
+                        if prev_table is None:
+                            yield ("seed", date, table, total_monitors)
+                        else:
+                            yield (
+                                "delta", date,
+                                delta_mod.diff_pair_tables(
+                                    prev_table, table
+                                ),
+                                total_monitors,
+                            )
+                        prev_table = table
+
+                items = _iter_items()
+            for kind, date, obj, total_monitors in items:
+                snapshot = (
+                    as2org.snapshot_for(date)
+                    if config.same_org_filter else None
+                )
+                serial += 1
+                if kind == "seed":
+                    state = delta_mod.DeltaState(config, total_monitors)
+                    state.seed(obj)
+                    new_rows, dropped, _fast = state.day_rows(snapshot)
+                    counters = state.day_counters(dropped)
+                    entry = delta_mod.seed_entry(
+                        date, obj, total_monitors, counters, new_rows
+                    )
+                else:
+                    state.apply(obj)
+                    pairs_added += len(obj.upsert_keys)
+                    pairs_removed += len(obj.removed)
+                    new_rows, dropped, fast = state.day_rows(snapshot)
+                    if fast:
+                        info["days_fastpathed"] += 1
+                    counters = state.day_counters(dropped)
+                    prev_set = set(rows)
+                    new_set = set(new_rows)
+                    entry = delta_mod.delta_entry(
+                        serial, date, obj, counters,
+                        sorted(new_set - prev_set),
+                        sorted(prev_set - new_set),
+                    )
+                rows = new_rows
+                if writable:
+                    journal.append(entry)
+                payloads[date] = {
+                    "date": date,
+                    "delegations": delta_mod.rows_to_quads(rows),
+                    "counters": counters,
+                }
+    info["rows"] = list(rows)
+    metrics.inc("runner.delta.pairs_added", pairs_added)
+    metrics.inc("runner.delta.pairs_removed", pairs_removed)
+    metrics.inc("runner.delta.days_replayed", info["days_replayed"])
+    metrics.inc("runner.delta.days_fastpathed", info["days_fastpathed"])
+    return payloads, info
 
 
 def run_inference(
@@ -460,6 +762,8 @@ def run_inference(
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
     metrics: MetricsRegistry = NULL,
     kernel: str = "columnar",
+    incremental: bool = False,
+    journal_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> InferenceResult:
     """Run the full pipeline over ``[start, end)``, in parallel.
 
@@ -483,10 +787,26 @@ def run_inference(
     registries), and the per-filter attrition counters shared with the
     sequential path.
 
+    ``incremental=True`` switches the sweep to day-over-day delta
+    inference (:mod:`repro.delegation.delta`): the first day seeds the
+    filter state, every later day applies a
+    :class:`~repro.delegation.delta.PairDelta` instead of re-running
+    the full kernel, and the output stays byte-identical (the
+    differential suite enforces it).  With ``journal_dir`` set the
+    sweep is journaled under a content-addressed JSONL file there:
+    re-runs replay the journal without touching the stream at all, a
+    crashed sweep resumes after its last appended day, and a *longer*
+    window extends the same journal.  Incremental sweeps ignore
+    ``cache_dir`` (the journal subsumes the per-day cache) and
+    ``kernel`` (the delta path has exactly one implementation).
+
     Returns an :class:`InferenceResult` byte-identical (in its
     ``daily`` delegations) to the sequential
     :meth:`DelegationInference.infer_range`, with ``runner_stats``
-    describing the fan-out and cache behaviour.
+    describing the fan-out and cache behaviour (including, for
+    incremental sweeps, replay/fast-path accounting) and — for
+    incremental sweeps — a ``delta_handle`` the serving layer can
+    keep applying new-day entries to.
     """
     began = time.perf_counter()
     config = config or InferenceConfig()
@@ -498,6 +818,9 @@ def run_inference(
             f"(choose from {', '.join(KERNELS)})"
         )
 
+    if journal_dir is not None and not incremental:
+        raise ReproError("journal_dir requires incremental=True")
+
     dates = list(date_range(start, end, step_days))
     resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if resolved_jobs < 1:
@@ -505,6 +828,8 @@ def run_inference(
 
     cache_base: Optional[pathlib.Path] = None
     input_fp = as2org_fp = None
+    if incremental:
+        cache_dir = None  # the journal subsumes the per-day cache
     if cache_dir is not None:
         fingerprint = getattr(stream_factory, "fingerprint", None)
         if fingerprint is None:
@@ -521,10 +846,18 @@ def run_inference(
     metrics.inc("runner.days_total", len(dates))
     metrics.set_gauge("runner.jobs", resolved_jobs)
 
-    # Phase 1: resolve cache hits.
+    # Phases 1–2, incremental flavour: journal replay + delta compute.
     payload_by_date: Dict[datetime.date, dict] = {}
     missing: List[datetime.date] = []
-    if cache_base is not None:
+    inc_info: Optional[dict] = None
+    if incremental:
+        with metrics.span("runner.incremental"):
+            payload_by_date, inc_info = _run_incremental(
+                stream_factory, config, as2org, dates, step_days,
+                resolved_jobs, journal_dir, metrics,
+            )
+    # Phase 1: resolve cache hits.
+    elif cache_base is not None:
         with metrics.span("runner.cache_probe"):
             for date in dates:
                 key = _cache_key(config, date, input_fp, as2org_fp)
@@ -535,43 +868,47 @@ def run_inference(
                     payload_by_date[date] = payload
         metrics.inc("runner.cache.hits", len(dates) - len(missing))
         metrics.inc("runner.cache.misses", len(missing))
-    else:
+    elif not incremental:
         missing = list(dates)
 
     # Phase 2: compute the misses — fanned out or in-process.
-    computed: List[dict] = []
-    with metrics.span("runner.compute"):
-        if missing:
-            if resolved_jobs > 1 and len(missing) > 1:
-                computed = _compute_parallel(
-                    stream_factory, config, as2org, missing,
-                    resolved_jobs, metrics, kernel,
-                )
-            else:
-                # Single-job (or single-day) runs stay entirely in
-                # this process: forking a pool to feed one worker can
-                # only add spawn and pickling overhead on top of the
-                # same sequential work.
-                stream = stream_factory()
-                if metrics.enabled and hasattr(stream, "set_metrics"):
-                    stream.set_metrics(metrics)
-                inference = DelegationInference(
-                    config, as2org, kernel=kernel
-                )
-                total_monitors = stream.monitor_count()
-                for date in missing:
-                    with metrics.span("day"):
-                        computed.append(_compute_day_payload(
-                            stream, inference, total_monitors, date,
-                            metrics,
-                        ))
-    with metrics.span("runner.cache_write"):
-        for payload in computed:
-            date = payload["date"]
-            payload_by_date[date] = payload
-            if cache_base is not None:
-                key = _cache_key(config, date, input_fp, as2org_fp)
-                _cache_write(_cache_path(cache_base, key), payload)
+    # (Incremental sweeps already produced every payload above.)
+    if not incremental:
+        computed: List[dict] = []
+        with metrics.span("runner.compute"):
+            if missing:
+                if resolved_jobs > 1 and len(missing) > 1:
+                    computed = _compute_parallel(
+                        stream_factory, config, as2org, missing,
+                        resolved_jobs, metrics, kernel,
+                    )
+                else:
+                    # Single-job (or single-day) runs stay entirely in
+                    # this process: forking a pool to feed one worker
+                    # can only add spawn and pickling overhead on top
+                    # of the same sequential work.
+                    stream = stream_factory()
+                    if metrics.enabled and hasattr(
+                        stream, "set_metrics"
+                    ):
+                        stream.set_metrics(metrics)
+                    inference = DelegationInference(
+                        config, as2org, kernel=kernel
+                    )
+                    total_monitors = stream.monitor_count()
+                    for date in missing:
+                        with metrics.span("day"):
+                            computed.append(_compute_day_payload(
+                                stream, inference, total_monitors,
+                                date, metrics,
+                            ))
+        with metrics.span("runner.cache_write"):
+            for payload in computed:
+                date = payload["date"]
+                payload_by_date[date] = payload
+                if cache_base is not None:
+                    key = _cache_key(config, date, input_fp, as2org_fp)
+                    _cache_write(_cache_path(cache_base, key), payload)
 
     # Phase 3: fan-in, in date order, then extension (v) exactly once.
     # Consecutive days share almost all delegations, so prefixes are
@@ -612,6 +949,9 @@ def run_inference(
             result.daily.record(
                 date, (_decode(quad) for quad in payload["delegations"])
             )
+    # The serving layer re-runs rule (v) over the extended window on
+    # every live apply, so it needs the pre-fill per-day record.
+    base_daily = result.daily.copy() if incremental else None
     if config.consistency_rule is not None:
         with metrics.span("runner.consistency"):
             result.daily = fill_gaps(
@@ -620,18 +960,42 @@ def run_inference(
             )
     record_pipeline_counters(metrics, result, delegations_total)
 
+    if inc_info is not None:
+        days_from_cache = inc_info["days_replayed"]
+        days_computed = inc_info["days_computed"]
+    else:
+        days_from_cache = len(dates) - len(missing)
+        days_computed = len(missing)
     result.runner_stats = RunnerStats(
         jobs=resolved_jobs,
         days_total=len(dates),
-        days_from_cache=len(dates) - len(missing),
-        days_computed=len(missing),
+        days_from_cache=days_from_cache,
+        days_computed=days_computed,
         elapsed_seconds=time.perf_counter() - began,
         cache_dir=str(cache_base) if cache_base is not None else None,
+        incremental=incremental,
+        days_replayed=(
+            inc_info["days_replayed"] if inc_info is not None else 0
+        ),
+        days_fastpathed=(
+            inc_info["days_fastpathed"] if inc_info is not None else 0
+        ),
+        journal=inc_info["journal"] if inc_info is not None else None,
     )
+    if inc_info is not None:
+        assert base_daily is not None
+        result.delta_handle = delta_mod.LiveDeltaHandle(
+            serial=len(dates),
+            dates=list(dates),
+            base_daily=base_daily,
+            rows=inc_info["rows"],
+            rule=config.consistency_rule,
+        )
     metrics.observe("runner", result.runner_stats.elapsed_seconds)
     logger.info(
-        "runner: %d days (%d cached, %d computed) with %d jobs in %.2fs",
-        len(dates), len(dates) - len(missing), len(missing),
+        "runner: %d days (%d %s, %d computed) with %d jobs in %.2fs",
+        len(dates), days_from_cache,
+        "replayed" if incremental else "cached", days_computed,
         resolved_jobs, result.runner_stats.elapsed_seconds,
     )
     return result

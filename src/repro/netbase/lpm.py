@@ -91,6 +91,48 @@ def nearest_strict_covers(keys: "array") -> List[int]:
     return out
 
 
+def diff_sorted_keys(
+    old_keys: "array", new_keys: "array"
+) -> Tuple[List[int], List[int], List[Tuple[int, int]]]:
+    """Partition two sorted, duplicate-free key arrays in one pass.
+
+    Returns ``(removed, added, common)`` where ``removed`` holds
+    indices into ``old_keys`` of keys absent from ``new_keys``,
+    ``added`` holds indices into ``new_keys`` of keys absent from
+    ``old_keys``, and ``common`` pairs ``(old_index, new_index)`` for
+    keys present in both.  This is the merge-walk core behind
+    day-over-day :class:`~repro.bgp.rib.PairTable` diffing: O(n + m)
+    with no hashing, because both inputs are already in :func:`pack`
+    order.
+    """
+    removed: List[int] = []
+    added: List[int] = []
+    common: List[Tuple[int, int]] = []
+    i = j = 0
+    old_len = len(old_keys)
+    new_len = len(new_keys)
+    while i < old_len and j < new_len:
+        old_key = old_keys[i]
+        new_key = new_keys[j]
+        if old_key == new_key:
+            common.append((i, j))
+            i += 1
+            j += 1
+        elif old_key < new_key:
+            removed.append(i)
+            i += 1
+        else:
+            added.append(j)
+            j += 1
+    while i < old_len:
+        removed.append(i)
+        i += 1
+    while j < new_len:
+        added.append(j)
+        j += 1
+    return removed, added, common
+
+
 class SortedPrefixMap:
     """Immutable prefix → value map over packed sorted arrays.
 

@@ -1,0 +1,214 @@
+"""Live delta applies against a running server.
+
+The serving half of the incremental-inference contract: an engine
+loaded with ``incremental=True`` keeps its
+:class:`~repro.delegation.delta.LiveDeltaHandle`, journal entries for
+new days apply *in place* while queries are being answered, ``/health``
+exposes the advancing serial, and no query ever observes a torn
+delegation set — every response equals the full-recompute answer for
+*some* applied serial.
+"""
+
+import asyncio
+import datetime
+import json
+
+import pytest
+
+from repro.delegation import (
+    InferenceConfig,
+    WorldStreamFactory,
+    run_inference,
+)
+from repro.delegation.delta import DeltaJournal, journal_key, journal_path
+from repro.errors import ReproError
+from repro.serve import QueryEngine, ReproServeServer
+from repro.serve.client import HttpSession
+from repro.serve.engine import DelegationIndex
+from repro.serve.protocol import render_json
+
+EXTRA_DAYS = 3
+
+
+@pytest.fixture(scope="module")
+def inc_engine(world):
+    """An engine whose inference sweep ran incrementally."""
+    return QueryEngine.from_world(
+        world,
+        step_days=1,
+        incremental=True,
+        rate_limit_per_second=1e6,
+        burst=1_000_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def new_entries(world, tmp_path_factory):
+    """Journal entries for EXTRA_DAYS days past the engine's window."""
+    journal_dir = tmp_path_factory.mktemp("journal")
+    factory = WorldStreamFactory(world.config)
+    config = InferenceConfig.extended()
+    as2org = world.as2org()
+    start = world.config.bgp_start
+    longer = world.config.bgp_end + datetime.timedelta(days=EXTRA_DAYS)
+    result = run_inference(
+        factory, start, longer, config, as2org=as2org, jobs=1,
+        incremental=True, journal_dir=journal_dir,
+    )
+    path = journal_path(journal_dir, journal_key(
+        config, factory.fingerprint(), as2org.fingerprint(), start, 1,
+    ))
+    entries = DeltaJournal(path).read()
+    base_serial = (longer - start).days - EXTRA_DAYS
+    return result, [e for e in entries if e["serial"] > base_serial]
+
+
+def serve(engine, scenario, **kwargs):
+    async def _main():
+        server = ReproServeServer(engine, **kwargs)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(_main())
+
+
+class TestLiveApply:
+    def test_engine_carries_delta_handle(self, inc_engine, world):
+        days = (world.config.bgp_end - world.config.bgp_start).days
+        assert inc_engine.delta_serial == days
+        assert inc_engine.loaded_summary()["deltaSerial"] == days
+
+    def test_apply_advances_serial_and_matches_recompute(
+        self, world, new_entries
+    ):
+        # A private engine: applies mutate the delegation index.
+        engine = QueryEngine.from_world(
+            world, step_days=1, incremental=True,
+            rate_limit_per_second=1e6, burst=1_000_000,
+        )
+        result, entries = new_entries
+        before = engine.delta_serial
+        for entry in entries:
+            engine.apply_delta_entry(entry)
+        assert engine.delta_serial == before + EXTRA_DAYS
+        reference = DelegationIndex(result.daily)
+        assert engine.delegations.snapshot_date == \
+            reference.snapshot_date
+        assert len(engine.delegations) == len(reference)
+        for asn in list(reference._by_asn)[:5]:
+            assert engine.delegations.as_history(asn) == \
+                reference.as_history(asn)
+
+    def test_serial_gap_and_seed_entry_rejected(self, world, new_entries):
+        engine = QueryEngine.from_world(
+            world, step_days=1, incremental=True,
+            rate_limit_per_second=1e6, burst=1_000_000,
+        )
+        _result, entries = new_entries
+        skipped = dict(entries[-1])
+        with pytest.raises(ReproError, match="serial gap"):
+            engine.apply_delta_entry(skipped)
+        with pytest.raises(ReproError, match="seed"):
+            engine.apply_delta_entry(dict(entries[0], kind="seed"))
+
+    def test_non_incremental_engine_refuses(self, engine, new_entries):
+        _result, entries = new_entries
+        with pytest.raises(ReproError, match="delta handle"):
+            engine.apply_delta_entry(entries[0])
+
+    def test_concurrent_queries_never_see_torn_state(
+        self, world, new_entries
+    ):
+        engine = QueryEngine.from_world(
+            world, step_days=1, incremental=True,
+            rate_limit_per_second=1e6, burst=1_000_000,
+        )
+        _result, entries = new_entries
+        probe = "/delegations/193.0.0.0/8"
+
+        # Every serial's full answer, captured on a twin engine.
+        twin = QueryEngine.from_world(
+            world, step_days=1, incremental=True,
+            rate_limit_per_second=1e6, burst=1_000_000,
+        )
+        from repro.serve.engine import parse_prefix_text
+        prefix = parse_prefix_text("193.0.0.0/8")
+        allowed = {render_json(twin.delegations_lookup(prefix))}
+        for entry in entries:
+            twin.apply_delta_entry(entry)
+            allowed.add(render_json(twin.delegations_lookup(prefix)))
+
+        async def scenario(server):
+            session = HttpSession(server.host, server.http_port)
+            await session.connect()
+            bodies = []
+            serials = []
+
+            async def hammer():
+                for _ in range(40):
+                    status, _h, body = await session.get(probe)
+                    assert status == 200
+                    bodies.append(body)
+                    status, _h, health = await session.get("/health")
+                    serials.append(
+                        json.loads(health)["delta"]["serial"]
+                    )
+                    await asyncio.sleep(0)
+
+            async def apply():
+                for entry in entries:
+                    await server.apply_delta_entries([entry])
+                    await asyncio.sleep(0.005)
+
+            try:
+                await asyncio.gather(hammer(), apply())
+            finally:
+                await session.close()
+            return bodies, serials, server.health()
+
+        bodies, serials, health = serve(engine, scenario)
+        assert all(body in allowed for body in bodies)
+        assert serials == sorted(serials)  # serial only advances
+        assert health["delta"]["serial"] == \
+            engine.delta.serial
+        assert health["delta"]["applied"] == EXTRA_DAYS
+        assert health["delta"]["snapshotDate"] == \
+            engine.delta.dates[-1].isoformat()
+
+    def test_apply_journal_catches_up_running_server(
+        self, world, new_entries, tmp_path
+    ):
+        engine = QueryEngine.from_world(
+            world, step_days=1, incremental=True,
+            rate_limit_per_second=1e6, burst=1_000_000,
+        )
+        _result, entries = new_entries
+        # Rebuild a journal file holding the full sequence: seed the
+        # prefix the engine already applied, then the new days.
+        factory = WorldStreamFactory(world.config)
+        config = InferenceConfig.extended()
+        as2org = world.as2org()
+        start = world.config.bgp_start
+        longer = world.config.bgp_end + datetime.timedelta(
+            days=EXTRA_DAYS
+        )
+        run_inference(
+            factory, start, longer, config, as2org=as2org, jobs=1,
+            incremental=True, journal_dir=tmp_path,
+        )
+        path = journal_path(tmp_path, journal_key(
+            config, factory.fingerprint(), as2org.fingerprint(),
+            start, 1,
+        ))
+
+        async def scenario(server):
+            before = server.health()["delta"]["serial"]
+            applied = await server.apply_journal(path)
+            return before, applied, server.health()["delta"]["serial"]
+
+        before, applied, after = serve(engine, scenario)
+        assert applied == EXTRA_DAYS
+        assert after == before + EXTRA_DAYS
