@@ -18,6 +18,7 @@ tight loops over flat integer columns (the ``columnar`` kernel in
 from __future__ import annotations
 
 import datetime
+import sys
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -29,6 +30,13 @@ from repro.netbase.trie import PrefixTrie
 
 #: Flag bit: the pair's origin is a plain single AS (not AS_SET/MOAS).
 UNIQUE_ORIGIN = 0x01
+
+#: Bytes per pair in the packed column layout: key u64 + origin u64 +
+#: monitor count u32 + flags u8.  ``PairTable.to_bytes`` emits the four
+#: columns back-to-back in that order (widest first, so every column
+#: starts aligned whenever the buffer itself is 8-byte aligned), all
+#: little-endian — the exact on-disk layout of a shard file's body.
+ROW_BYTES = 8 + 8 + 4 + 1
 
 
 class PairTable:
@@ -48,6 +56,14 @@ class PairTable:
     Pairs whose origin is an AS_SET or MOAS carry no member detail —
     inference step (iii) drops them unconditionally, so only the
     uniqueness verdict survives aggregation.
+
+    Columns are normally ``array`` objects, but every consumer only
+    indexes, iterates, slices and bisects them — so a table can also be
+    backed by cast :class:`memoryview` columns over a shard file's
+    mapped bytes (:meth:`from_buffer`), making a load zero-copy.  Such
+    views are read-only and not picklable; :meth:`materialize` copies
+    them back into real arrays when a table must cross a process
+    boundary.
     """
 
     __slots__ = ("keys", "origins", "flags", "monitor_counts")
@@ -104,6 +120,120 @@ class PairTable:
                 monitors,
             )
         return cls.from_aggregate(aggregate)
+
+    @classmethod
+    def from_buffer(cls, buffer, count: int, offset: int = 0) -> "PairTable":
+        """Adopt packed columns straight out of a byte buffer.
+
+        ``buffer`` (typically a :class:`mmap.mmap` over a shard file)
+        must hold the :data:`ROW_BYTES`-per-pair column layout written
+        by :meth:`to_bytes` starting at ``offset``: ``count`` u64 keys,
+        ``count`` u64 origins, ``count`` u32 monitor counts, ``count``
+        u8 flags, all little-endian.  On little-endian hosts the
+        returned table's columns are cast memoryviews into ``buffer``
+        — no bytes are copied, and the views keep the buffer (and its
+        mmap) alive; big-endian hosts fall back to copying into real
+        arrays with a byteswap.
+
+        The shard header is sized so ``offset`` (and with it every
+        column start) lands 8-byte aligned — not something
+        ``memoryview.cast`` demands, but it keeps the mapping adoptable
+        by stricter readers (numpy views, C extensions) later.
+        """
+        end = offset + count * ROW_BYTES
+        view = memoryview(buffer)[offset:end]
+        if len(view) != count * ROW_BYTES:
+            raise ValueError(
+                f"buffer holds {len(view)} bytes from offset {offset}, "
+                f"need {count * ROW_BYTES} for {count} pairs"
+            )
+        bounds = (0, count * 8, count * 16, count * 20, count * 21)
+        if sys.byteorder == "little":
+            keys = view[bounds[0]:bounds[1]].cast("Q")
+            origins = view[bounds[1]:bounds[2]].cast("Q")
+            monitor_counts = view[bounds[2]:bounds[3]].cast("I")
+            flags = view[bounds[3]:bounds[4]].cast("B")
+            return cls(keys, origins, flags, monitor_counts)
+        keys = array("Q")
+        keys.frombytes(view[bounds[0]:bounds[1]])
+        origins = array("Q")
+        origins.frombytes(view[bounds[1]:bounds[2]])
+        monitor_counts = array("I")
+        monitor_counts.frombytes(view[bounds[2]:bounds[3]])
+        flags = array("B")
+        flags.frombytes(view[bounds[3]:bounds[4]])
+        for column in (keys, origins, monitor_counts):
+            column.byteswap()
+        return cls(keys, origins, flags, monitor_counts)
+
+    def to_bytes(self) -> bytes:
+        """The packed column layout :meth:`from_buffer` reads.
+
+        Always little-endian on disk regardless of host order, so
+        shard files are portable across architectures.
+        """
+        columns = (self.keys, self.origins, self.monitor_counts, self.flags)
+        parts = []
+        for column in columns:
+            if isinstance(column, memoryview):
+                # Zero-copy views only exist on little-endian hosts,
+                # where the backing buffer already has disk byte order.
+                parts.append(column.tobytes())
+                continue
+            if sys.byteorder != "little":
+                column = array(column.typecode, column)
+                column.byteswap()
+            parts.append(column.tobytes())
+        return b"".join(parts)
+
+    @property
+    def is_buffer_backed(self) -> bool:
+        """True when columns are memoryviews over a mapped buffer.
+
+        Buffer-backed tables are read-only and must never cross a
+        process boundary (memoryviews don't pickle) — callers returning
+        tables from pool workers go through :meth:`materialize` first.
+        """
+        return isinstance(self.keys, memoryview)
+
+    def materialize(self) -> "PairTable":
+        """A self-contained (picklable, mutable) copy of this table.
+
+        A no-op returning ``self`` for tables already backed by real
+        arrays.
+        """
+        if not self.is_buffer_backed:
+            return self
+        return PairTable(
+            array("Q", self.keys),
+            array("Q", self.origins),
+            array("B", self.flags),
+            array("I", self.monitor_counts),
+        )
+
+    def to_pairs(self) -> Dict[IPv4Prefix, tuple]:
+        """Inverse of :meth:`from_pairs`, for the object kernel.
+
+        Non-unique pairs aggregate away their member detail, so they
+        come back as a placeholder non-unique :class:`~repro.netbase.
+        asnum.OriginSet` — exactly the facts (uniqueness verdict, sole
+        origin, monitor count) the object-path filters consume, which
+        is why a store-backed object-kernel run stays byte-identical
+        to one fed from live announcement records.
+        """
+        from repro.netbase.asnum import OriginSet
+
+        pairs: Dict[IPv4Prefix, tuple] = {}
+        for index, key in enumerate(self.keys):
+            network, length = unpack(key)
+            if self.flags[index] & UNIQUE_ORIGIN:
+                origin_set = OriginSet((self.origins[index],))
+            else:
+                origin_set = OriginSet((0,), from_as_set=True)
+            pairs[IPv4Prefix(network, length)] = (
+                origin_set, self.monitor_counts[index]
+            )
+        return pairs
 
     def column_at(self, index: int) -> Tuple[int, int, int, int]:
         """One entry as ``(key, origin, flags, monitors)`` — the unit

@@ -10,9 +10,10 @@ The subcommands cover the library's main entry points::
     python -m repro advise 24 3      # buy-or-lease for a /24, 3 years
     python -m repro manifest m.json  # pretty-print a run manifest
 
-All commands accept ``--seed`` and ``--scale {small,paper}``; output
-is plain text on stdout.  ``infer``, ``figures``, ``market``, and
-``ingest`` additionally accept the observability flags:
+All commands accept ``--seed`` and ``--scale
+{small,paper,internet}``; output is plain text on stdout.  ``infer``,
+``figures``, ``market``, and ``ingest`` additionally accept the
+observability flags:
 
 - ``--metrics-out PATH`` — write a run manifest (config hash, input
   fingerprints, per-stage attrition, cache and timing accounting),
@@ -71,14 +72,21 @@ from repro.obs import (
     render_manifest,
     summarize_trace,
 )
-from repro.obs.history import DEFAULT_MIN_SECONDS
+from repro.obs.history import DEFAULT_MIN_PEAK_KB, DEFAULT_MIN_SECONDS
 from repro.registry.rir import RIR
-from repro.simulation import World, paper_scenario, small_scenario
+from repro.simulation import (
+    World,
+    internet_scenario,
+    paper_scenario,
+    small_scenario,
+)
 
 
 def _build_world(args: argparse.Namespace) -> World:
     if args.scale == "paper":
         return World(paper_scenario(seed=args.seed))
+    if args.scale == "internet":
+        return World(internet_scenario(seed=args.seed))
     return World(small_scenario(seed=args.seed))
 
 
@@ -114,6 +122,17 @@ def _check_runner_flags(args: argparse.Namespace) -> None:
             ) from exc
         if not os.access(path, os.W_OK):
             raise ReproError(f"--journal: {path} is not writable")
+    store = getattr(args, "store", None)
+    if store is not None:
+        path = pathlib.Path(store)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ReproError(
+                f"--store: cannot create {path}: {exc}"
+            ) from exc
+        if not os.access(path, os.W_OK):
+            raise ReproError(f"--store: {path} is not writable")
     _check_obs_flags(args)
 
 
@@ -377,6 +396,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         incremental=args.incremental,
         journal_dir=args.journal,
+        store_dir=args.store,
     )
     if args.metrics_out is not None:
         _write_infer_manifest(
@@ -546,14 +566,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             InferenceConfig.extended(), as2org=world.as2org(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
             kernel=args.kernel, incremental=args.incremental,
-            journal_dir=args.journal,
+            journal_dir=args.journal, store_dir=args.store,
         )
         baseline = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
             InferenceConfig.baseline(),
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
             kernel=args.kernel, incremental=args.incremental,
-            journal_dir=args.journal,
+            journal_dir=args.journal, store_dir=args.store,
         )
         results = [extended, baseline]
         written.append(
@@ -650,6 +670,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             kernel=args.kernel,
             incremental=args.incremental,
             journal_dir=args.journal,
+            store_dir=args.store,
             rate_limit_per_second=args.rate_limit,
             burst=args.burst,
             max_clients=args.max_clients,
@@ -751,6 +772,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
         args.candidate,
         max_regress=parse_percent(args.max_regress),
         min_seconds=args.min_seconds,
+        min_peak_kb=args.min_peak_kb,
     )
     if not regressions:
         print("history check: no regressions")
@@ -790,6 +812,13 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
              "under DIR; re-runs replay the journal and longer "
              "windows extend it (requires --incremental)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="keep per-day pair tables as memory-mapped shard files "
+             "under DIR (the out-of-core data plane); warm days are "
+             "zero-copy maps shared by every config, kernel, and "
+             "worker process",
+    )
     _add_obs_arguments(parser)
 
 
@@ -824,9 +853,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42,
                         help="world seed (default 42)")
-    parser.add_argument("--scale", choices=("small", "paper"),
+    parser.add_argument("--scale", choices=("small", "paper", "internet"),
                         default="small",
-                        help="scenario preset (default small)")
+                        help="scenario preset (default small); "
+                             "'internet' scales the paper's prefix "
+                             "counts ~15x for out-of-core runs")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -1010,6 +1041,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="ignore timers faster than S seconds in the baseline "
              f"(default {DEFAULT_MIN_SECONDS})",
+    )
+    check.add_argument(
+        "--min-peak-kb", type=float, default=DEFAULT_MIN_PEAK_KB,
+        metavar="KB",
+        help="ignore profile.*.peak_kb gauges below KB in the "
+             f"baseline (default {DEFAULT_MIN_PEAK_KB:.0f})",
     )
     history.set_defaults(handler=_cmd_history)
 

@@ -55,7 +55,12 @@ from repro.netbase.lpm import (
     _HOST_BITS,
     diff_sorted_keys,
     nearest_strict_covers,
+    require_codec_itemsizes,
 )
+
+# The delta columns round-trip through array('Q')/('I') buffers whose
+# widths the journal codec (and every PairDelta consumer) assumes.
+require_codec_itemsizes()
 
 logger = logging.getLogger(__name__)
 

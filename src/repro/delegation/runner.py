@@ -70,8 +70,16 @@ from repro.delegation.inference import (
 from repro.delegation.io import content_digest
 from repro.delegation.model import DailyDelegations
 from repro.errors import ReproError
+from repro.netbase.lpm import require_codec_itemsizes
 from repro.netbase.prefix import IPv4Prefix
 from repro.obs.metrics import NULL, MetricsRegistry
+from repro.store.shard import (
+    ShardStore,
+    atomic_write_bytes,
+    sweep_stale_temporaries,
+)
+
+require_codec_itemsizes()
 
 logger = logging.getLogger(__name__)
 
@@ -169,6 +177,8 @@ class RunnerStats:
     days_replayed: int = 0
     days_fastpathed: int = 0
     journal: Optional[str] = None
+    #: The shard store directory, when the run was store-backed.
+    store_dir: Optional[str] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -271,37 +281,133 @@ def _decode_payload(data: bytes) -> Optional[dict]:
     }
 
 
-def _cache_read(path: pathlib.Path) -> Optional[dict]:
-    """Load a payload, treating missing/corrupt entries as misses."""
+def _cache_read(
+    path: pathlib.Path, metrics: MetricsRegistry = NULL
+) -> Optional[dict]:
+    """Load a payload, treating missing/corrupt entries as misses.
+
+    A missing file is an ordinary miss; an unreadable or malformed one
+    additionally bumps ``cache.malformed`` so ``repro history check``
+    can flag corruption storms instead of them hiding in the logs.
+    """
     try:
         data = path.read_bytes()
     except FileNotFoundError:
         return None
     except OSError:
         logger.warning("discarding unreadable cache entry %s", path)
+        metrics.inc("cache.malformed")
         return None
     payload = _decode_payload(data)
     if payload is None:
         logger.warning("discarding malformed cache entry %s", path)
+        metrics.inc("cache.malformed")
     return payload
 
 
 def _cache_write(path: pathlib.Path, payload: dict) -> None:
-    """Atomic write: concurrent runs never observe torn entries."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    with open(tmp, "wb") as handle:
-        handle.write(_encode_payload(payload))
-    os.replace(tmp, path)
+    """Atomic write: concurrent runs never observe torn entries.
+
+    Delegates to :func:`~repro.store.shard.atomic_write_bytes`, whose
+    temporary name *appends* ``.tmp.<pid>`` to the full file name —
+    ``with_suffix`` would replace ``.bin``, making two entries that
+    differ only in suffix collide on one temporary, and crash leftovers
+    under the replaced name would never match the entry glob.  Stale
+    temporaries are swept when the cache is opened.
+    """
+    atomic_write_bytes(path, _encode_payload(payload))
 
 
 # -- per-day computation (shared by workers and the in-process path) ------
 
 
+class _DaySource:
+    """Where a day's pair facts come from: shard store, then stream.
+
+    With a :class:`~repro.store.shard.ShardStore` attached, every day
+    is probed there first — a hit maps the shard read-only and returns
+    a zero-copy table without ever building the stream (a fully warm
+    sweep never regenerates the world at all); a miss lazily builds
+    the stream once, aggregates the day, and writes the shard back so
+    the next run (or another worker revisiting the day) maps it.
+
+    Store-less sources reduce exactly to the previous behaviour: the
+    stream is built once and every day reads from it.
+    """
+
+    def __init__(
+        self,
+        factory: StreamFactory,
+        store: Optional[ShardStore] = None,
+        metrics: MetricsRegistry = NULL,
+    ) -> None:
+        self._factory = factory
+        self.store = store
+        self._metrics = metrics
+        self._stream: Optional[RouteStream] = None
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Swap the registry (workers ship a fresh one per chunk)."""
+        self._metrics = metrics
+        if self.store is not None:
+            self.store.metrics = metrics
+        if self._stream is not None and hasattr(
+            self._stream, "set_metrics"
+        ):
+            self._stream.set_metrics(metrics)
+
+    def stream(self) -> RouteStream:
+        if self._stream is None:
+            self._stream = self._factory()
+            if self._metrics.enabled and hasattr(
+                self._stream, "set_metrics"
+            ):
+                self._stream.set_metrics(self._metrics)
+        return self._stream
+
+    def has_tables(self) -> bool:
+        """Whether :meth:`table_on` can serve the columnar kernel."""
+        return self.store is not None or hasattr(
+            self.stream(), "pair_table_on"
+        )
+
+    def table_on(
+        self, date: datetime.date
+    ) -> Tuple["object", int]:
+        """``(PairTable, total_monitors)`` for one day.
+
+        Store hits come back mmap-backed (read-only, not picklable —
+        see :meth:`~repro.bgp.rib.PairTable.materialize`); misses are
+        computed from the stream and written through.
+        """
+        if self.store is not None:
+            loaded = self.store.load(date)
+            if loaded is not None:
+                return loaded
+        stream = self.stream()
+        table = stream.pair_table_on(date)
+        total_monitors = stream.monitor_count()
+        if self.store is not None:
+            self.store.write(date, table, total_monitors)
+        return table, total_monitors
+
+    def pairs_on(self, date: datetime.date) -> Tuple[dict, int]:
+        """``(pairs dict, total_monitors)`` for the object kernel.
+
+        Store-backed days rebuild the dict from the shard's columns —
+        the aggregation preserved every fact the object-path filters
+        read, so the results stay byte-identical.
+        """
+        if self.store is not None:
+            table, total_monitors = self.table_on(date)
+            return table.to_pairs(), total_monitors
+        stream = self.stream()
+        return stream.pairs_on(date), stream.monitor_count()
+
+
 def _compute_day_payload(
-    stream: RouteStream,
+    source: _DaySource,
     inference: DelegationInference,
-    total_monitors: int,
     date: datetime.date,
     metrics: MetricsRegistry = NULL,
 ) -> dict:
@@ -311,23 +417,25 @@ def _compute_day_payload(
     length, delegator, delegatee)`` quads plus the bookkeeping
     counters the sequential path accumulates.  Under the ``columnar``
     kernel the day never materializes per-record objects at all — the
-    kernel's packed rows are reshaped straight into quads.
+    kernel's packed rows are reshaped straight into quads, straight
+    off the shard mapping when the source is store-backed.
     """
     scratch = InferenceResult(
         daily=DailyDelegations(), config=inference.config
     )
-    if inference.kernel == "columnar" and hasattr(stream, "pair_table_on"):
+    if inference.kernel == "columnar" and source.has_tables():
+        table, total_monitors = source.table_on(date)
         rows = inference._table_delegation_rows(
-            stream.pair_table_on(date), total_monitors, date, scratch,
-            metrics=metrics,
+            table, total_monitors, date, scratch, metrics=metrics,
         )
         quads = sorted(
             (key >> 6, key & 0x3F, delegator, delegatee)
             for key, delegator, delegatee, _cover in rows
         )
     else:
+        pairs, total_monitors = source.pairs_on(date)
         delegations = inference.infer_day_from_pairs(
-            stream.pairs_on(date), total_monitors, date, scratch
+            pairs, total_monitors, date, scratch
         )
         quads = sorted(
             (
@@ -363,16 +471,21 @@ def _init_worker(
     trace: bool = False,
     profile: bool = False,
     kernel: str = "columnar",
+    store_dir: Optional[str] = None,
+    input_fp: Optional[str] = None,
 ) -> None:
     """Pool initializer: runs once per worker process.
 
     The factory and the (potentially large) as2org dataset are
     transferred exactly once here; the stream itself is built lazily on
-    the first chunk so that pool start-up stays cheap.  When
-    ``instrument`` is set, each chunk records into a fresh
-    :class:`MetricsRegistry` that is shipped back with its payloads
-    and merged in the parent (registries are picklable by design);
-    ``trace`` upgrades it to a :class:`~repro.obs.trace.
+    the first chunk so that pool start-up stays cheap.  With
+    ``store_dir`` set, the worker opens the shard store *by path* and
+    maps its days read-only — the parent ships two short strings
+    instead of pickling any table data, and a warm worker never builds
+    its stream at all.  When ``instrument`` is set, each chunk records
+    into a fresh :class:`MetricsRegistry` that is shipped back with
+    its payloads and merged in the parent (registries are picklable by
+    design); ``trace`` upgrades it to a :class:`~repro.obs.trace.
     TracingRegistry` on a per-worker lane, ``profile`` adds
     ``tracemalloc`` peak gauges.
     """
@@ -384,6 +497,8 @@ def _init_worker(
     _WORKER_STATE["trace"] = trace
     _WORKER_STATE["profile"] = profile
     _WORKER_STATE["kernel"] = kernel
+    _WORKER_STATE["store_dir"] = store_dir
+    _WORKER_STATE["input_fp"] = input_fp
 
 
 def _worker_registry() -> MetricsRegistry:
@@ -407,6 +522,27 @@ def _worker_registry() -> MetricsRegistry:
     return registry
 
 
+def _worker_source() -> _DaySource:
+    """The worker's lazily-built day source (one per process).
+
+    Store-backed workers open the shard store read-mostly by path —
+    without the stale-temporary sweep, which only the parent runs
+    (concurrent workers sweeping under each other would race).
+    """
+    source = _WORKER_STATE.get("source")
+    if source is None:
+        store = None
+        if _WORKER_STATE.get("store_dir") is not None:
+            store = ShardStore(
+                _WORKER_STATE["store_dir"],
+                _WORKER_STATE["input_fp"],
+                sweep=False,
+            )
+        source = _DaySource(_WORKER_STATE["factory"], store)
+        _WORKER_STATE["source"] = source
+    return source
+
+
 def _worker_run_chunk(
     dates: Sequence[datetime.date],
 ) -> Tuple[List[dict], Optional[MetricsRegistry]]:
@@ -415,25 +551,21 @@ def _worker_run_chunk(
     Returns the per-day payloads plus the shard's metrics registry
     (``None`` when the run is uninstrumented).
     """
-    stream = _WORKER_STATE.get("stream")
-    if stream is None:
-        stream = _WORKER_STATE["factory"]()
-        _WORKER_STATE["stream"] = stream
-        _WORKER_STATE["inference"] = DelegationInference(
+    source = _worker_source()
+    inference = _WORKER_STATE.get("inference")
+    if inference is None:
+        inference = DelegationInference(
             _WORKER_STATE["config"], _WORKER_STATE["as2org"],
             kernel=_WORKER_STATE.get("kernel", "columnar"),
         )
-        _WORKER_STATE["total_monitors"] = stream.monitor_count()
-    inference = _WORKER_STATE["inference"]
-    total_monitors = _WORKER_STATE["total_monitors"]
+        _WORKER_STATE["inference"] = inference
     if not _WORKER_STATE.get("instrument"):
         return [
-            _compute_day_payload(stream, inference, total_monitors, date)
+            _compute_day_payload(source, inference, date)
             for date in dates
         ], None
     registry = _worker_registry()
-    if hasattr(stream, "set_metrics"):
-        stream.set_metrics(registry)
+    source.set_metrics(registry)
     payloads = []
     for date in dates:
         # A span (not a bare observe) so the same per-day timing also
@@ -442,7 +574,7 @@ def _worker_run_chunk(
         # historical name.
         with registry.span("runner.compute.day"):
             payloads.append(_compute_day_payload(
-                stream, inference, total_monitors, date, registry
+                source, inference, date, registry
             ))
     registry.inc("runner.chunks")
     return payloads, registry
@@ -456,39 +588,38 @@ def _worker_diff_chunk(
 
     Each worker rebuilds its chunk's anchor day (``prev_date``; one
     duplicated table build per chunk — streams are deterministic, so
-    the anchor equals the previous chunk's last table exactly) and
-    returns small ``("delta", date, PairDelta)`` items; the first
-    chunk of a cold sweep returns the full ``("seed", ...)`` table.
-    The parent applies them in order through one
+    the anchor equals the previous chunk's last table exactly; with a
+    warm shard store the rebuild is a zero-copy map) and returns small
+    ``("delta", date, PairDelta)`` items; the first chunk of a cold
+    sweep returns the full ``("seed", ...)`` table, *materialized* —
+    store-backed tables are views into this worker's private mapping
+    and must never be pickled back to the parent.  The parent applies
+    the items in order through one
     :class:`~repro.delegation.delta.DeltaState`.
     """
-    stream = _WORKER_STATE.get("stream")
-    if stream is None:
-        stream = _WORKER_STATE["factory"]()
-        _WORKER_STATE["stream"] = stream
-        _WORKER_STATE["total_monitors"] = stream.monitor_count()
-    total_monitors = _WORKER_STATE["total_monitors"]
+    source = _worker_source()
     registry: Optional[MetricsRegistry] = None
     if _WORKER_STATE.get("instrument"):
         registry = _worker_registry()
-        if hasattr(stream, "set_metrics"):
-            stream.set_metrics(registry)
+        source.set_metrics(registry)
     span = registry.span if registry is not None else None
     items: List[tuple] = []
     if prev_date is None:
-        prev_table = stream.pair_table_on(dates[0])
-        items.append(("seed", dates[0], prev_table, total_monitors))
+        prev_table, total_monitors = source.table_on(dates[0])
+        items.append((
+            "seed", dates[0], prev_table.materialize(), total_monitors
+        ))
         rest = dates[1:]
     else:
-        prev_table = stream.pair_table_on(prev_date)
+        prev_table, total_monitors = source.table_on(prev_date)
         rest = dates
     for date in rest:
         if span is not None:
             with span("runner.diff.day"):
-                table = stream.pair_table_on(date)
+                table, total_monitors = source.table_on(date)
                 day_delta = delta_mod.diff_pair_tables(prev_table, table)
         else:
-            table = stream.pair_table_on(date)
+            table, total_monitors = source.table_on(date)
             day_delta = delta_mod.diff_pair_tables(prev_table, table)
         items.append(("delta", date, day_delta, total_monitors))
         prev_table = table
@@ -512,6 +643,8 @@ def _diff_parallel(
     prev_date: Optional[datetime.date],
     jobs: int,
     metrics: MetricsRegistry = NULL,
+    store_dir: Optional[str] = None,
+    input_fp: Optional[str] = None,
 ) -> List[tuple]:
     """Fan day-over-day diffing out over a process pool.
 
@@ -536,6 +669,7 @@ def _diff_parallel(
             getattr(metrics, "trace", None) is not None,
             metrics.memory_profiling,
             "columnar",
+            store_dir, input_fp,
         ),
     )
     try:
@@ -571,6 +705,7 @@ def _run_incremental(
     jobs: int,
     journal_dir: Optional[Union[str, pathlib.Path]],
     metrics: MetricsRegistry,
+    store: Optional[ShardStore] = None,
 ) -> Tuple[Dict[datetime.date, dict], dict]:
     """The incremental sweep: journal replay, then delta compute.
 
@@ -676,14 +811,19 @@ def _run_incremental(
                 items = _diff_parallel(
                     stream_factory, config, as2org, remaining,
                     prev_date, jobs, metrics,
+                    store_dir=(
+                        str(store.directory) if store is not None
+                        else None
+                    ),
+                    input_fp=(
+                        store.input_fingerprint if store is not None
+                        else None
+                    ),
                 )
             else:
                 items = None
             if items is None:
-                stream = stream_factory()
-                if metrics.enabled and hasattr(stream, "set_metrics"):
-                    stream.set_metrics(metrics)
-                total_monitors = stream.monitor_count()
+                source = _DaySource(stream_factory, store, metrics)
                 prev_table = (
                     state.to_table() if state is not None else None
                 )
@@ -691,7 +831,7 @@ def _run_incremental(
                 def _iter_items():
                     nonlocal prev_table
                     for date in remaining:
-                        table = stream.pair_table_on(date)
+                        table, total_monitors = source.table_on(date)
                         if prev_table is None:
                             yield ("seed", date, table, total_monitors)
                         else:
@@ -764,6 +904,7 @@ def run_inference(
     kernel: str = "columnar",
     incremental: bool = False,
     journal_dir: Optional[Union[str, pathlib.Path]] = None,
+    store_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> InferenceResult:
     """Run the full pipeline over ``[start, end)``, in parallel.
 
@@ -799,6 +940,19 @@ def run_inference(
     window extends the same journal.  Incremental sweeps ignore
     ``cache_dir`` (the journal subsumes the per-day cache) and
     ``kernel`` (the delta path has exactly one implementation).
+
+    ``store_dir`` attaches the out-of-core shard store
+    (:mod:`repro.store`): every day's aggregated pair table lives in a
+    per-day memory-mapped shard file whose layout is the columnar
+    layout, so warm days are zero-copy maps — no stream build, no
+    aggregation, near-flat per-process memory peaks regardless of
+    prefix count.  Workers open the store by path instead of receiving
+    pickled inputs.  Unlike ``cache_dir`` (post-filter results, keyed
+    on the config), the store holds *pre-filter inputs* keyed only on
+    the input fingerprint, so one store serves every config, both
+    kernels, and the incremental path — all byte-identical to the
+    in-RAM paths.  The two compose: a store feeds computes, the cache
+    skips them.
 
     Returns an :class:`InferenceResult` byte-identical (in its
     ``daily`` delegations) to the sequential
@@ -838,10 +992,23 @@ def run_inference(
                 "identifying its input data"
             )
         cache_base = pathlib.Path(cache_dir)
+        sweep_stale_temporaries(
+            cache_base, metrics=metrics, counter="cache.tmp_swept"
+        )
         input_fp = fingerprint()
         if config.same_org_filter:
             assert as2org is not None
             as2org_fp = as2org.fingerprint()
+
+    store: Optional[ShardStore] = None
+    if store_dir is not None:
+        fingerprint = getattr(stream_factory, "fingerprint", None)
+        if fingerprint is None:
+            raise ReproError(
+                "the shard store requires a stream factory with a "
+                "fingerprint() identifying its input data"
+            )
+        store = ShardStore(store_dir, fingerprint(), metrics=metrics)
 
     metrics.inc("runner.days_total", len(dates))
     metrics.set_gauge("runner.jobs", resolved_jobs)
@@ -854,14 +1021,16 @@ def run_inference(
         with metrics.span("runner.incremental"):
             payload_by_date, inc_info = _run_incremental(
                 stream_factory, config, as2org, dates, step_days,
-                resolved_jobs, journal_dir, metrics,
+                resolved_jobs, journal_dir, metrics, store,
             )
     # Phase 1: resolve cache hits.
     elif cache_base is not None:
         with metrics.span("runner.cache_probe"):
             for date in dates:
                 key = _cache_key(config, date, input_fp, as2org_fp)
-                payload = _cache_read(_cache_path(cache_base, key))
+                payload = _cache_read(
+                    _cache_path(cache_base, key), metrics
+                )
                 if payload is None:
                     missing.append(date)
                 else:
@@ -880,27 +1049,21 @@ def run_inference(
                 if resolved_jobs > 1 and len(missing) > 1:
                     computed = _compute_parallel(
                         stream_factory, config, as2org, missing,
-                        resolved_jobs, metrics, kernel,
+                        resolved_jobs, metrics, kernel, store,
                     )
                 else:
                     # Single-job (or single-day) runs stay entirely in
                     # this process: forking a pool to feed one worker
                     # can only add spawn and pickling overhead on top
                     # of the same sequential work.
-                    stream = stream_factory()
-                    if metrics.enabled and hasattr(
-                        stream, "set_metrics"
-                    ):
-                        stream.set_metrics(metrics)
+                    source = _DaySource(stream_factory, store, metrics)
                     inference = DelegationInference(
                         config, as2org, kernel=kernel
                     )
-                    total_monitors = stream.monitor_count()
                     for date in missing:
                         with metrics.span("day"):
                             computed.append(_compute_day_payload(
-                                stream, inference, total_monitors,
-                                date, metrics,
+                                source, inference, date, metrics,
                             ))
         with metrics.span("runner.cache_write"):
             for payload in computed:
@@ -981,6 +1144,7 @@ def run_inference(
             inc_info["days_fastpathed"] if inc_info is not None else 0
         ),
         journal=inc_info["journal"] if inc_info is not None else None,
+        store_dir=str(store.directory) if store is not None else None,
     )
     if inc_info is not None:
         assert base_daily is not None
@@ -1009,12 +1173,15 @@ def _compute_parallel(
     jobs: int,
     metrics: MetricsRegistry = NULL,
     kernel: str = "columnar",
+    store: Optional[ShardStore] = None,
 ) -> List[dict]:
     """Fan the missing days out over a process pool.
 
     With an enabled ``metrics`` registry, every worker chunk returns
     its own registry alongside its payloads; they are merged here, so
-    per-day timings and stream counters survive the fan-in.
+    per-day timings and stream counters survive the fan-in.  A store
+    is forwarded as ``(directory, fingerprint)`` strings — workers map
+    shards themselves instead of the parent pickling inputs to them.
     """
     workers = min(jobs, len(missing))
     chunk_size = max(
@@ -1033,6 +1200,8 @@ def _compute_parallel(
             getattr(metrics, "trace", None) is not None,
             metrics.memory_profiling,
             kernel,
+            str(store.directory) if store is not None else None,
+            store.input_fingerprint if store is not None else None,
         ),
     )
     try:

@@ -36,6 +36,34 @@ from repro.netbase.prefix import ADDRESS_BITS, IPv4Prefix
 
 V = TypeVar("V")
 
+#: The typecodes every packed codec in the repo depends on, with the
+#: byte widths their on-disk formats (v2 cache quads, delta-journal
+#: columns, shard files) assume.  ``array`` only guarantees *minimum*
+#: sizes, so codecs must check before trusting ``tobytes``/``frombytes``
+#: round-trips across platforms.
+_CODEC_ITEMSIZES = (("B", 1), ("I", 4), ("Q", 8))
+
+
+def require_codec_itemsizes() -> None:
+    """Assert the ``array`` itemsizes the packed codecs rely on.
+
+    Called once at import by every module with an on-disk packed
+    format (:mod:`repro.delegation.runner`, :mod:`repro.delegation.
+    delta`, :mod:`repro.store.shard`): a platform where ``array('I')``
+    is not 4 bytes or ``array('Q')`` is not 8 would silently misparse
+    every entry, so fail loudly instead.
+    """
+    for typecode, expected in _CODEC_ITEMSIZES:
+        actual = array(typecode).itemsize
+        if actual != expected:
+            raise RuntimeError(
+                f"unsupported platform: array({typecode!r}).itemsize is "
+                f"{actual}, but the packed binary formats (cache, "
+                f"journal, shard) require {expected} bytes; this "
+                "platform cannot read or write them"
+            )
+
+
 #: Host-bit masks per prefix length: ``_HOST_BITS[l] = 2**(32-l) - 1``.
 _HOST_BITS = tuple(
     (1 << (ADDRESS_BITS - length)) - 1

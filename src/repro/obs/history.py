@@ -10,6 +10,7 @@ into the comparable facts —
 - the §4 attrition table (records in / out / dropped per filter),
 - cache hit and miss counts,
 - quarantine totals from degraded runs,
+- ``*.malformed`` counters (corrupt cache / shard-store entries),
 - ``profile.*`` peak-memory gauges.
 
 On top of the store sit three operations, mirrored by the ``repro
@@ -47,6 +48,10 @@ DEFAULT_HISTORY_PATH = ".repro-history.jsonl"
 #: Timers faster than this in the baseline are never regression-gated:
 #: a 3 ms stage doubling is scheduler noise, not a regression.
 DEFAULT_MIN_SECONDS = 0.05
+
+#: Peak-memory gauges below this baseline are never regression-gated:
+#: allocator noise dominates tiny runs, not the working set.
+DEFAULT_MIN_PEAK_KB = 1024.0
 
 
 def parse_percent(text: Union[str, float]) -> float:
@@ -93,6 +98,7 @@ def summarize_manifest(payload: dict) -> dict:
     }
     degradation = payload.get("degradation") or {}
     gauges = metrics.get("gauges") or {}
+    counters = metrics.get("counters") or {}
     extra = payload.get("extra") or {}
     return {
         "schema": HISTORY_SCHEMA,
@@ -105,6 +111,11 @@ def summarize_manifest(payload: dict) -> dict:
         "timers": timers,
         "cache": dict(payload.get("cache") or {}),
         "quarantined": degradation.get("quarantined_total", 0),
+        "malformed": {
+            name: value
+            for name, value in counters.items()
+            if name.endswith(".malformed")
+        },
         "profile": {
             name: value
             for name, value in gauges.items()
@@ -206,6 +217,7 @@ class RunHistory:
         *,
         max_regress: float = 0.20,
         min_seconds: float = DEFAULT_MIN_SECONDS,
+        min_peak_kb: float = DEFAULT_MIN_PEAK_KB,
     ) -> List[str]:
         baseline = self.entry(baseline_id)
         candidate = (
@@ -216,6 +228,7 @@ class RunHistory:
         return find_regressions(
             baseline, candidate,
             max_regress=max_regress, min_seconds=min_seconds,
+            min_peak_kb=min_peak_kb,
         )
 
 
@@ -340,6 +353,14 @@ def render_diff(baseline: dict, candidate: dict) -> str:
         baseline.get("quarantined", 0),
         candidate.get("quarantined", 0),
     ])
+    base_malformed: Dict[str, int] = baseline.get("malformed") or {}
+    cand_malformed: Dict[str, int] = candidate.get("malformed") or {}
+    for name in sorted(set(base_malformed) | set(cand_malformed)):
+        rows.append([
+            name,
+            base_malformed.get(name, 0),
+            cand_malformed.get(name, 0),
+        ])
     base_profile: Dict[str, float] = baseline.get("profile") or {}
     cand_profile: Dict[str, float] = candidate.get("profile") or {}
     for name in sorted(set(base_profile) | set(cand_profile)):
@@ -365,6 +386,7 @@ def find_regressions(
     *,
     max_regress: float = 0.20,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    min_peak_kb: float = DEFAULT_MIN_PEAK_KB,
 ) -> List[str]:
     """The ``history check`` gate; returns one line per regression.
 
@@ -372,6 +394,11 @@ def find_regressions(
       ``min_seconds`` and whose candidate total exceeds the baseline
       by more than ``max_regress`` (a fraction, e.g. ``0.20``);
     - any increase in quarantined records;
+    - any increase in a ``*.malformed`` counter (corrupt cache or
+      shard-store entries — a corruption storm, not a perf issue);
+    - any ``profile.*.peak_kb`` gauge whose baseline is at least
+      ``min_peak_kb`` and whose candidate exceeds the baseline by
+      more than ``max_regress`` (the out-of-core memory floor);
     - for runs with identical config hashes: any drift in the
       attrition table (sequential ≡ parallel determinism means these
       numbers must never move for the same config and inputs).
@@ -396,6 +423,27 @@ def find_regressions(
             f"quarantined records: {base_quarantined} -> "
             f"{cand_quarantined}"
         )
+    base_malformed: Dict[str, int] = baseline.get("malformed") or {}
+    cand_malformed: Dict[str, int] = candidate.get("malformed") or {}
+    for name in sorted(set(base_malformed) | set(cand_malformed)):
+        a = base_malformed.get(name, 0) or 0
+        b = cand_malformed.get(name, 0) or 0
+        if b > a:
+            regressions.append(f"{name} entries: {a} -> {b}")
+    base_profile: Dict[str, float] = baseline.get("profile") or {}
+    cand_profile: Dict[str, float] = candidate.get("profile") or {}
+    for name in sorted(set(base_profile) & set(cand_profile)):
+        if not name.endswith(".peak_kb"):
+            continue
+        a = base_profile[name]
+        b = cand_profile[name]
+        if a < min_peak_kb:
+            continue
+        if b > a * (1.0 + max_regress):
+            regressions.append(
+                f"gauge {name}: {a:.0f} kB -> {b:.0f} kB "
+                f"({(b - a) / a:+.1%}, limit {max_regress:+.0%})"
+            )
     same_config = (
         baseline.get("config_hash") is not None
         and baseline.get("config_hash") == candidate.get("config_hash")

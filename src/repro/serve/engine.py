@@ -295,6 +295,7 @@ class QueryEngine:
         kernel: str = "columnar",
         incremental: bool = False,
         journal_dir: Optional[str] = None,
+        store_dir: Optional[str] = None,
         rate_limit_per_second: float = 50.0,
         burst: int = 100,
         max_clients: int = 4096,
@@ -303,14 +304,17 @@ class QueryEngine:
         """Load every serveable dataset from a simulated world.
 
         The expensive part is the delegation inference sweep; it honors
-        the same ``jobs``/``cache_dir``/``kernel`` knobs as the batch
-        CLI (``--no-infer`` on the CLI maps to
+        the same ``jobs``/``cache_dir``/``kernel``/``store_dir`` knobs
+        as the batch CLI (``--no-infer`` on the CLI maps to
         ``include_inference=False`` for an instant, delegation-less
         start).  With ``incremental=True`` the sweep runs in
         day-over-day delta mode and the engine keeps the resulting
         :class:`~repro.delegation.delta.LiveDeltaHandle`, so new-day
         journal entries can be applied to the running server
-        (:meth:`apply_delta_entry` / :meth:`apply_journal`).
+        (:meth:`apply_delta_entry` / :meth:`apply_journal`).  With
+        ``store_dir`` the sweep reads its per-day inputs from the
+        memory-mapped shard store, so a warm server start never
+        regenerates the world's BGP view.
         """
         from repro.delegation import (
             InferenceConfig,
@@ -337,6 +341,7 @@ class QueryEngine:
                     kernel=kernel,
                     incremental=incremental,
                     journal_dir=journal_dir,
+                    store_dir=store_dir,
                 )
             delegations = DelegationIndex(result.daily)
             delta = result.delta_handle

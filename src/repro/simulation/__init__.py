@@ -22,12 +22,18 @@ statistical shapes its evaluation reports:
   together, deterministically from one seed.
 """
 
-from repro.simulation.scenario import ScenarioConfig, paper_scenario, small_scenario
+from repro.simulation.scenario import (
+    ScenarioConfig,
+    internet_scenario,
+    paper_scenario,
+    small_scenario,
+)
 from repro.simulation.world import World
 
 __all__ = [
     "ScenarioConfig",
     "World",
+    "internet_scenario",
     "paper_scenario",
     "small_scenario",
 ]

@@ -8,6 +8,7 @@ wrong payload.
 
 import datetime
 import json
+import os
 import struct
 
 import pytest
@@ -22,6 +23,7 @@ from repro.delegation.runner import (
     _decode_payload,
     _encode_payload,
 )
+from repro.obs.metrics import MetricsRegistry
 
 D = datetime.date
 
@@ -115,6 +117,43 @@ class TestRejection:
         with caplog.at_level("WARNING", logger="repro.delegation.runner"):
             assert _cache_read(path) is None
         assert any("malformed" in r.message for r in caplog.records)
+
+    def test_corrupt_file_bumps_malformed_counter(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 10)
+        metrics = MetricsRegistry()
+        assert _cache_read(path, metrics) is None
+        assert metrics.counter("cache.malformed") == 1
+
+    def test_missing_file_does_not_count_as_malformed(self, tmp_path):
+        metrics = MetricsRegistry()
+        assert _cache_read(tmp_path / "absent.bin", metrics) is None
+        assert metrics.counter("cache.malformed") == 0
+
+
+class TestAtomicWrite:
+    def test_temporary_appends_to_the_entry_name(self, tmp_path):
+        # Regression: the temporary used to be built with with_suffix,
+        # so two entries whose keys shared a stem raced on one
+        # temporary and a crash left it shadowing future writes.  The
+        # temporary must embed the full entry name plus the pid.
+        calls = []
+        original = os.replace
+
+        def spy(src, dst):
+            calls.append(os.fspath(src))
+            original(src, dst)
+
+        path = tmp_path / "ab" / "abcdef.bin"
+        try:
+            os.replace = spy
+            _cache_write(path, _payload())
+        finally:
+            os.replace = original
+        assert calls == [
+            str(path.with_name(f"abcdef.bin.tmp.{os.getpid()}"))
+        ]
+        assert _cache_read(path) == _payload()
 
 
 class TestLayout:

@@ -1,0 +1,170 @@
+"""Differential tests: out-of-core store vs. the in-RAM paths.
+
+The shard store is a pure data-plane change — a sweep fed from
+memory-mapped shards must be byte-identical to one fed from live
+announcement records, for both kernels, sequential and through the
+mmap fan-out (workers opening the shard by path), and through the
+incremental delta path.  A warm store must serve every day as a hit
+without rebuilding the stream.
+"""
+
+import datetime
+
+import pytest
+
+from repro.delegation import (
+    InferenceConfig,
+    WorldStreamFactory,
+    run_inference,
+    write_daily_delegations,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.simulation import World, small_scenario
+
+SCENARIO = small_scenario()
+START = SCENARIO.bgp_start
+END = START + datetime.timedelta(days=10)
+DAYS = (END - START).days
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return WorldStreamFactory(SCENARIO)
+
+
+@pytest.fixture(scope="module")
+def as2org():
+    return World(SCENARIO).as2org()
+
+
+def _run(factory, as2org, **kwargs):
+    return run_inference(
+        factory, START, END,
+        InferenceConfig.extended(), as2org=as2org, **kwargs
+    )
+
+
+def _result_bytes(result, path):
+    write_daily_delegations(result.daily, path)
+    return path.read_bytes()
+
+
+def _counters(result):
+    return (
+        result.pairs_seen,
+        result.pairs_dropped_visibility,
+        result.pairs_dropped_origin,
+        result.delegations_dropped_same_org,
+        result.sanitize_stats.bogon_prefix,
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines(factory, as2org, tmp_path_factory):
+    """Storeless reference outputs, one per kernel."""
+    base = tmp_path_factory.mktemp("baselines")
+    outputs = {}
+    for kernel in ("columnar", "object"):
+        result = _run(factory, as2org, kernel=kernel, jobs=1)
+        outputs[kernel] = (
+            _result_bytes(result, base / f"{kernel}.jsonl"),
+            _counters(result),
+        )
+    # The two kernels agree with each other before the store enters.
+    assert outputs["columnar"] == outputs["object"]
+    return outputs
+
+
+class TestStoreBackedEquivalence:
+    @pytest.mark.parametrize("kernel", ["columnar", "object"])
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["seq", "pool"])
+    def test_cold_store_matches_storeless(
+        self, factory, as2org, baselines, tmp_path, kernel, jobs
+    ):
+        metrics = MetricsRegistry()
+        result = _run(
+            factory, as2org, kernel=kernel, jobs=jobs,
+            store_dir=tmp_path / "store", metrics=metrics,
+        )
+        expected_bytes, expected_counters = baselines[kernel]
+        assert _result_bytes(result, tmp_path / "out.jsonl") == \
+            expected_bytes
+        assert _counters(result) == expected_counters
+        assert result.runner_stats.store_dir == str(tmp_path / "store")
+        # Cold: every day written exactly once, none served warm.
+        counters = metrics.counters()
+        assert counters.get("store.writes") == DAYS
+        assert counters.get("store.hits") is None
+        assert counters.get("store.malformed") is None
+
+    @pytest.mark.parametrize("kernel", ["columnar", "object"])
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["seq", "pool"])
+    def test_warm_store_matches_and_hits_every_day(
+        self, factory, as2org, baselines, tmp_path, kernel, jobs
+    ):
+        _run(factory, as2org, jobs=1, store_dir=tmp_path / "store")
+        metrics = MetricsRegistry()
+        result = _run(
+            factory, as2org, kernel=kernel, jobs=jobs,
+            store_dir=tmp_path / "store", metrics=metrics,
+        )
+        assert _result_bytes(result, tmp_path / "out.jsonl") == \
+            baselines[kernel][0]
+        counters = metrics.counters()
+        assert counters.get("store.hits") == DAYS
+        assert counters.get("store.misses") is None
+        assert counters.get("store.writes") is None
+
+    def test_store_is_shared_across_kernels_and_configs(
+        self, factory, as2org, tmp_path
+    ):
+        # Warm with the columnar extended run, then read every day
+        # back under the object kernel and the baseline config: the
+        # content address excludes both.
+        _run(factory, as2org, jobs=1, store_dir=tmp_path / "store")
+        metrics = MetricsRegistry()
+        run_inference(
+            factory, START, END,
+            InferenceConfig.baseline(), as2org=as2org,
+            kernel="object", jobs=1,
+            store_dir=tmp_path / "store", metrics=metrics,
+        )
+        assert metrics.counters().get("store.hits") == DAYS
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["seq", "pool"])
+    def test_incremental_store_backed_matches(
+        self, factory, as2org, baselines, tmp_path, jobs
+    ):
+        cold = _run(
+            factory, as2org, jobs=jobs, incremental=True,
+            store_dir=tmp_path / "store",
+        )
+        assert _result_bytes(cold, tmp_path / "cold.jsonl") == \
+            baselines["columnar"][0]
+        warm = _run(
+            factory, as2org, jobs=jobs, incremental=True,
+            store_dir=tmp_path / "store",
+        )
+        assert _result_bytes(warm, tmp_path / "warm.jsonl") == \
+            baselines["columnar"][0]
+
+    def test_store_composes_with_the_result_cache(
+        self, factory, as2org, baselines, tmp_path
+    ):
+        # Both layers on: first run fills both, second run is served
+        # entirely by the result cache (which sits in front).
+        kwargs = dict(
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            store_dir=tmp_path / "store",
+        )
+        _run(factory, as2org, **kwargs)
+        metrics = MetricsRegistry()
+        result = _run(factory, as2org, metrics=metrics, **kwargs)
+        assert _result_bytes(result, tmp_path / "out.jsonl") == \
+            baselines["columnar"][0]
+        counters = metrics.counters()
+        assert counters.get("runner.cache.hits") == DAYS
+        assert counters.get("store.misses") is None
