@@ -195,3 +195,151 @@ def test_serve_load(record_bench_json):
     path = record_bench_json("serve", payload)
     print(json.dumps(payload, indent=2, sort_keys=True))
     assert json.loads(open(path).read())["qps"] == payload["qps"]
+
+
+def _build_engine():
+    world = World(small_scenario(seed=42))
+    return QueryEngine.from_world(
+        world,
+        step_days=7,
+        rate_limit_per_second=1e6,
+        burst=1_000_000,
+    )
+
+
+def _swap_metrics(engine, registry):
+    engine.metrics = registry
+    engine.rdap.set_metrics(registry)
+
+
+def test_serve_instrumentation_overhead(record_bench_json):
+    """Histograms + windows + per-route timers cost <5% warm qps.
+
+    The same engine serves two identical warm loads, once with the
+    no-op registry and once fully instrumented; only the registry is
+    swapped between runs.  Wall-clock noise on a tiny load is real, so
+    the gate retries a few times and passes on any attempt.
+    """
+    from repro.obs import NULL, MetricsRegistry
+
+    engine = _build_engine()
+    prefixes = []
+    for obj in engine.whois.database.inetnums():
+        prefixes.append(str(obj.primary_prefix()))
+        if len(prefixes) == 10:
+            break
+
+    connections = 10
+    requests = 40
+
+    async def _load():
+        server = ReproServeServer(engine)
+        await server.start()
+
+        async def worker(n):
+            session = HttpSession(
+                server.host, server.http_port, client_id=f"ovh-{n}"
+            )
+            await session.connect()
+            try:
+                for i in range(requests):
+                    status, _h, _b = await session.get(
+                        f"/ip/{prefixes[(n + i) % len(prefixes)]}"
+                    )
+                    assert status == 200
+            finally:
+                await session.close()
+
+        try:
+            # One warmup pass primes caches and the event loop.
+            await worker(0)
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(worker(n) for n in range(connections))
+            )
+            return connections * requests / (time.perf_counter() - t0)
+        finally:
+            await server.shutdown()
+
+    def measure(registry):
+        _swap_metrics(engine, registry)
+        return asyncio.run(_load())
+
+    attempts = []
+    for _ in range(3):
+        null_qps = measure(NULL)
+        real_qps = measure(MetricsRegistry())
+        overhead = 1.0 - real_qps / null_qps
+        attempts.append({
+            "null_qps": round(null_qps, 1),
+            "instrumented_qps": round(real_qps, 1),
+            "overhead_fraction": round(overhead, 4),
+        })
+        if overhead < 0.05:
+            break
+    payload = {"attempts": attempts, "limit_fraction": 0.05}
+    record_bench_json("serve_overhead", payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    best = min(a["overhead_fraction"] for a in attempts)
+    assert best < 0.05, (
+        f"instrumentation overhead {best:.1%} over 3 attempts"
+    )
+
+
+def test_client_and_server_p99_agree(record_bench_json):
+    """The server's histogram p99 matches what clients experienced.
+
+    A 5 ms artificial floor (via the server's request hook) puts every
+    request deep into one factor-2 bucket, so the client-side measured
+    p99 and the server's exact-bucket estimate must land within one
+    bucket of each other — the cross-check that the for-free
+    histograms describe reality, not just themselves.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.obs.telemetry import bucket_index
+
+    engine = _build_engine()
+    registry = MetricsRegistry()
+    _swap_metrics(engine, registry)
+    target = str(next(iter(engine.whois.database.inetnums()))
+                 .primary_prefix())
+    samples = []
+
+    async def _run():
+        async def floor():
+            await asyncio.sleep(0.005)
+
+        server = ReproServeServer(engine, request_hook=floor)
+        await server.start()
+        session = HttpSession(
+            server.host, server.http_port, client_id="p99"
+        )
+        await session.connect()
+        try:
+            for _ in range(80):
+                t0 = time.perf_counter()
+                status, _h, _b = await session.get(f"/ip/{target}")
+                samples.append(time.perf_counter() - t0)
+                assert status == 200
+        finally:
+            await session.close()
+            await server.shutdown()
+
+    asyncio.run(_run())
+
+    histogram = registry.histogram("serve.http.request")
+    assert histogram.count == 80
+    client_p99 = _percentile(samples, 0.99)
+    server_p99 = histogram.quantile(0.99)
+    client_bucket = bucket_index(client_p99)
+    server_bucket = bucket_index(server_p99)
+    payload = {
+        "requests": len(samples),
+        "client_p99_ms": round(client_p99 * 1e3, 3),
+        "server_p99_ms": round(server_p99 * 1e3, 3),
+        "client_bucket": client_bucket,
+        "server_bucket": server_bucket,
+    }
+    record_bench_json("serve_p99_agreement", payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    assert abs(client_bucket - server_bucket) <= 1, payload

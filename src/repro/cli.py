@@ -20,12 +20,16 @@ observability flags:
 - ``--trace-out PATH`` — write a Chrome trace-event timeline (open in
   Perfetto / ``chrome://tracing``, or summarize with
   ``repro trace summarize PATH``),
+- ``--prom-out PATH`` — write the same registry in Prometheus text
+  exposition format (counters, gauges, latency histograms),
 - ``--profile-mem`` — add per-stage ``tracemalloc`` peak gauges
   (``profile.*`` in the manifest), workers included.
 
 ``repro history record/list/diff/check`` turns recorded manifests
 into an append-only regression history; ``check`` exits 1 when a
-stage timing regresses past ``--max-regress``.
+stage timing (mean *or* p99) regresses past ``--max-regress``.
+``repro obs top URL`` polls a running ``repro serve`` instance's
+``/health`` + ``/metrics`` into a live latency dashboard.
 
 Errors deriving from :class:`~repro.errors.ReproError` (bad flags,
 unwritable paths, broken inputs) exit with status 2 and a one-line
@@ -158,6 +162,7 @@ def _check_out_path(target: Optional[str], flag: str) -> None:
 def _check_obs_flags(args: argparse.Namespace) -> None:
     _check_out_path(getattr(args, "metrics_out", None), "--metrics-out")
     _check_out_path(getattr(args, "trace_out", None), "--trace-out")
+    _check_out_path(getattr(args, "prom_out", None), "--prom-out")
 
 
 def _registry_for(args: argparse.Namespace) -> MetricsRegistry:
@@ -165,14 +170,18 @@ def _registry_for(args: argparse.Namespace) -> MetricsRegistry:
 
     - no flags → the shared no-op :data:`NULL` registry (byte-identical
       output, ~zero overhead),
-    - ``--metrics-out`` / ``--profile-mem`` → a real registry,
+    - ``--metrics-out`` / ``--prom-out`` / ``--profile-mem`` → a real
+      registry,
     - ``--trace-out`` → a :class:`TracingRegistry` on the ``main``
       lane (worker lanes fan in through the runner),
     - ``--profile-mem`` additionally turns on per-span peak gauges.
     """
     wants_trace = getattr(args, "trace_out", None) is not None
     wants_profile = getattr(args, "profile_mem", False)
-    wants_metrics = getattr(args, "metrics_out", None) is not None
+    wants_metrics = (
+        getattr(args, "metrics_out", None) is not None
+        or getattr(args, "prom_out", None) is not None
+    )
     if wants_trace:
         registry: MetricsRegistry = TracingRegistry(lane="main")
     elif wants_metrics or wants_profile:
@@ -189,6 +198,15 @@ def _write_trace(args: argparse.Namespace, metrics: MetricsRegistry) -> None:
     target = getattr(args, "trace_out", None)
     if target is not None:
         metrics.trace.write(target)
+
+
+def _write_prom(args: argparse.Namespace, metrics: MetricsRegistry) -> None:
+    """Write the ``--prom-out`` artifact when the flag was given."""
+    target = getattr(args, "prom_out", None)
+    if target is not None:
+        from repro.obs.telemetry import write_prometheus
+
+        write_prometheus(metrics, target)
 
 
 # -- manifest assembly ----------------------------------------------------
@@ -350,6 +368,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             )
         manifest.write(args.metrics_out)
     _write_trace(args, metrics)
+    _write_prom(args, metrics)
     rows = [[name, count] for name, (count, _kind) in loaded.items()]
     rows.append(["quarantined records", report.count()])
     print(render_table(
@@ -403,6 +422,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             args, "infer", config, factory, world, [result], metrics
         )
     _write_trace(args, metrics)
+    _write_prom(args, metrics)
     rows = [
         [date, count, result.daily.addresses_on(date)]
         for date, count in result.counts_series()
@@ -454,6 +474,7 @@ def _cmd_market(args: argparse.Namespace) -> int:
         manifest.extra["seed"] = args.seed
         manifest.write(args.metrics_out)
     _write_trace(args, metrics)
+    _write_prom(args, metrics)
     rows = [
         ["priced transactions", len(dataset)],
         ["mean 2020 price ($/IP)", f"{mean_2020:.2f}"],
@@ -611,6 +632,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         manifest.extra["files_written"] = written
         manifest.write(args.metrics_out)
     _write_trace(args, metrics)
+    _write_prom(args, metrics)
     for path in written:
         print(path)
     return 0
@@ -660,6 +682,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _check_serve_flags(args)
     world = _build_world(args)
     metrics = _registry_for(args)
+    if not metrics.enabled:
+        # A server always keeps real metrics even without --metrics-out:
+        # /metrics, the /health window, and `repro obs top` would be
+        # empty otherwise, and the differential guarantee only concerns
+        # batch artifacts, not a long-running server.
+        metrics = MetricsRegistry()
     with metrics.span("serve.load"):
         engine = QueryEngine.from_world(
             world,
@@ -716,6 +744,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         manifest.extra["serve"] = server.health()
         manifest.write(args.metrics_out)
     _write_trace(args, metrics)
+    _write_prom(args, metrics)
     health = server.health()
     print(render_table(
         ["metric", "value"],
@@ -742,6 +771,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summarize":
         print(summarize_trace(load_trace(args.path), top=args.top))
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs top URL`` — live dashboard over a running server."""
+    from repro.obs.top import run_top
+
+    if args.obs_command == "top":
+        return run_top(
+            args.target,
+            interval=args.interval,
+            count=args.count,
+            clear=not args.no_clear,
+        )
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _cmd_history(args: argparse.Namespace) -> int:
@@ -835,6 +878,11 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="write a Chrome trace-event timeline (all spans, worker "
              "lanes included) to PATH; open in Perfetto or summarize "
              "with `repro trace summarize PATH`",
+    )
+    parser.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="write the metrics registry (counters, gauges, latency "
+             "histograms) as Prometheus text exposition to PATH",
     )
     parser.add_argument(
         "--profile-mem", action="store_true",
@@ -994,6 +1042,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many slowest spans to show (default 10)",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    obs = commands.add_parser(
+        "obs", help="live observability tools for a running server"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    top = obs_commands.add_parser(
+        "top",
+        help="poll /health and /metrics into a live latency dashboard",
+    )
+    top.add_argument(
+        "target",
+        help="the server's HTTP endpoint: host:port or http://host:port",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: poll until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs)",
+    )
+    obs.set_defaults(handler=_cmd_obs)
 
     history = commands.add_parser(
         "history",

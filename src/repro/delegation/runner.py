@@ -508,6 +508,13 @@ def _worker_registry() -> MetricsRegistry:
     the merged timeline shows which process ran which days; the lane
     is stable for the worker's lifetime while each chunk still ships
     an independent registry back for the order-insensitive fan-in.
+    That fan-in carries latency *distributions* too: every worker
+    timer records into a fixed-bucket
+    :class:`~repro.obs.telemetry.HistogramStats`, and because the
+    buckets are fixed the bucket-wise sum is associative and
+    commutative — the merged p99 is independent of chunk scheduling,
+    exactly like counters (pinned by
+    ``tests/obs/test_telemetry_properties.py``).
     """
     if _WORKER_STATE.get("trace"):
         from repro.obs.trace import TracingRegistry

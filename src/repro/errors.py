@@ -112,3 +112,7 @@ class ScenarioError(SimulationError, ValueError):
 
 class DatasetError(ReproError):
     """A dataset file cannot be parsed or written."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry output (Prometheus exposition) is malformed."""

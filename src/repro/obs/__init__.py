@@ -4,6 +4,11 @@
   :class:`MetricsRegistry` (counters / gauges / timers), nestable
   stage :class:`Span` timings, and the shared no-op :data:`NULL`
   registry every instrumented path defaults to,
+- :mod:`~repro.obs.telemetry` — quantile-grade latency telemetry:
+  mergeable fixed-bucket :class:`HistogramStats` recorded alongside
+  every timer, the :class:`SlidingWindow` serve rollup, and the
+  Prometheus text exposition (:func:`to_prometheus`) with its strict
+  parser (:func:`parse_prometheus_text`),
 - :mod:`~repro.obs.trace` — per-span timeline events
   (:class:`TraceBuffer` / :class:`TracingRegistry`) exported as
   Chrome trace-event JSON (``--trace-out``, Perfetto-loadable) with a
@@ -44,6 +49,16 @@ from repro.obs.metrics import (
     Span,
     TimerStats,
 )
+from repro.obs.telemetry import (
+    HistogramStats,
+    SlidingWindow,
+    bucket_index,
+    bucket_upper_bound,
+    mangle_metric_name,
+    parse_prometheus_text,
+    to_prometheus,
+    write_prometheus,
+)
 from repro.obs.trace import (
     TRACE_SCHEMA,
     TraceBuffer,
@@ -56,12 +71,14 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_HISTORY_PATH",
     "HISTORY_SCHEMA",
+    "HistogramStats",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "NULL",
     "NullRegistry",
     "RunHistory",
     "RunManifest",
+    "SlidingWindow",
     "Span",
     "StageRecord",
     "TRACE_SCHEMA",
@@ -69,14 +86,20 @@ __all__ = [
     "TraceBuffer",
     "TraceEvent",
     "TracingRegistry",
+    "bucket_index",
+    "bucket_upper_bound",
     "config_hash",
     "find_regressions",
     "load_manifest",
     "load_trace",
+    "mangle_metric_name",
     "parse_percent",
+    "parse_prometheus_text",
     "render_diff",
     "render_list",
     "render_manifest",
     "summarize_manifest",
     "summarize_trace",
+    "to_prometheus",
+    "write_prometheus",
 ]

@@ -81,13 +81,22 @@ def summarize_manifest(payload: dict) -> dict:
     full metric dump (the manifest itself remains the deep record).
     """
     metrics = payload.get("metrics") or {}
-    timers = {
-        name: {
+    histograms = metrics.get("histograms") or {}
+    timers = {}
+    for name, stats in (metrics.get("timers") or {}).items():
+        entry = {
             "count": stats.get("count", 0),
             "total_seconds": stats.get("total_seconds", 0.0),
+            "mean_seconds": stats.get(
+                "mean_seconds",
+                (stats.get("total_seconds", 0.0) / stats["count"])
+                if stats.get("count") else 0.0,
+            ),
         }
-        for name, stats in (metrics.get("timers") or {}).items()
-    }
+        histogram = histograms.get(name)
+        if histogram and "p99_seconds" in histogram:
+            entry["p99_seconds"] = histogram["p99_seconds"]
+        timers[name] = entry
     stages = {
         stage.get("name", "?"): {
             "in": stage.get("records_in", 0),
@@ -111,10 +120,13 @@ def summarize_manifest(payload: dict) -> dict:
         "timers": timers,
         "cache": dict(payload.get("cache") or {}),
         "quarantined": degradation.get("quarantined_total", 0),
+        # ``spans.mismatched`` rides in the malformed map on purpose:
+        # corrupted span nesting is an integrity signal like corrupt
+        # cache entries, and any increase fails ``history check``.
         "malformed": {
             name: value
             for name, value in counters.items()
-            if name.endswith(".malformed")
+            if name.endswith(".malformed") or name == "spans.mismatched"
         },
         "profile": {
             name: value
@@ -295,16 +307,21 @@ def render_diff(baseline: dict, candidate: dict) -> str:
             delta = f"{(b - a) / a:+.1%}"
         else:
             delta = "-"
+        p99_a = base_timers.get(name, {}).get("p99_seconds")
+        p99_b = cand_timers.get(name, {}).get("p99_seconds")
         rows.append([
             name,
             f"{a:.3f}" if a is not None else "-",
             f"{b:.3f}" if b is not None else "-",
             delta,
+            f"{p99_a:.4f}" if p99_a is not None else "-",
+            f"{p99_b:.4f}" if p99_b is not None else "-",
         ])
     if rows:
         lines.append("")
         lines.append(render_table(
-            ["timer", "baseline_s", "candidate_s", "delta"],
+            ["timer", "baseline_s", "candidate_s", "delta",
+             "p99_base", "p99_cand"],
             rows,
             title="stage timings",
         ))
@@ -393,9 +410,15 @@ def find_regressions(
     - any timer present in both runs whose baseline total is at least
       ``min_seconds`` and whose candidate total exceeds the baseline
       by more than ``max_regress`` (a fraction, e.g. ``0.20``);
+    - any timer whose recorded **p99** regressed the same way — the
+      tail gate: baseline p99 at least ``min_seconds`` (the noise
+      floor), candidate p99 beyond ``max_regress``.  Quantiles are
+      exact-bucket (factor-2 bounds), so a flagged p99 moved at least
+      one whole bucket — never float jitter;
     - any increase in quarantined records;
     - any increase in a ``*.malformed`` counter (corrupt cache or
-      shard-store entries — a corruption storm, not a perf issue);
+      shard-store entries) or in ``spans.mismatched`` (corrupted span
+      nesting) — a corruption storm, not a perf issue;
     - any ``profile.*.peak_kb`` gauge whose baseline is at least
       ``min_peak_kb`` and whose candidate exceeds the baseline by
       more than ``max_regress`` (the out-of-core memory floor);
@@ -414,6 +437,16 @@ def find_regressions(
         if b > a * (1.0 + max_regress):
             regressions.append(
                 f"timer {name}: {a:.3f}s -> {b:.3f}s "
+                f"({(b - a) / a:+.1%}, limit {max_regress:+.0%})"
+            )
+    for name in sorted(set(base_timers) & set(cand_timers)):
+        a = base_timers[name].get("p99_seconds")
+        b = cand_timers[name].get("p99_seconds")
+        if a is None or b is None or a < min_seconds:
+            continue
+        if b > a * (1.0 + max_regress):
+            regressions.append(
+                f"timer {name} p99: {a:.3f}s -> {b:.3f}s "
                 f"({(b - a) / a:+.1%}, limit {max_regress:+.0%})"
             )
     base_quarantined = baseline.get("quarantined", 0) or 0

@@ -227,19 +227,22 @@ def render_manifest(payload: dict) -> str:
             ))
     metrics = payload.get("metrics") or {}
     timers = metrics.get("timers") or {}
+    histograms = metrics.get("histograms") or {}
     if timers:
-        rows = [
-            [
+        rows = []
+        for name, stats in sorted(timers.items()):
+            histogram = histograms.get(name) or {}
+            p99 = histogram.get("p99_seconds")
+            rows.append([
                 name,
                 stats.get("count", 0),
                 f"{stats.get('total_seconds', 0.0):.3f}",
-                f"{stats.get('mean', _mean(stats)):.4f}",
-            ]
-            for name, stats in sorted(timers.items())
-        ]
+                f"{stats.get('mean_seconds', _mean(stats)):.4f}",
+                f"{p99:.4f}" if p99 is not None else "-",
+            ])
         lines.append("")
         lines.append(render_table(
-            ["timer", "count", "total_s", "mean_s"],
+            ["timer", "count", "total_s", "mean_s", "p99_s"],
             rows,
             title="timers",
         ))

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.telemetry import HistogramStats
+
 
 @dataclass
 class TimerStats:
@@ -67,6 +69,7 @@ class TimerStats:
         return {
             "count": self.count,
             "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
             "min_seconds": (
                 self.min_seconds if self.count else 0.0
             ),
@@ -109,6 +112,12 @@ class Span:
         stack = registry._span_stack
         if stack and stack[-1] == self._full_name:
             stack.pop()
+        else:
+            # Corrupted nesting (an overlapping or re-entered span):
+            # skipping the pop keeps the stack from losing an
+            # ancestor, but must never be silent — manifests and
+            # `history check` gate on this counter.
+            registry.inc("spans.mismatched")
         registry.observe(self._full_name, elapsed)
         if exc_type is not None:
             # The timing above still records (a degraded stage took
@@ -152,6 +161,7 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStats] = {}
+        self._histograms: Dict[str, HistogramStats] = {}
         self._span_stack: List[str] = []
         #: Set by :meth:`enable_memory_profile`; spans then record
         #: ``profile.<name>.peak_kb`` gauges on exit.
@@ -170,11 +180,21 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
-        """Record one timing observation into timer ``name``."""
+        """Record one timing observation into timer ``name``.
+
+        Every observation also lands in the same-named latency
+        histogram (fixed log-scale buckets, see
+        :mod:`repro.obs.telemetry`), so any instrumented call site —
+        spans included — gets p50/p90/p99/p999 for free.
+        """
         stats = self._timers.get(name)
         if stats is None:
             stats = self._timers[name] = TimerStats()
         stats.observe(seconds)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = HistogramStats()
+        histogram.observe(seconds)
 
     def span(self, name: str) -> Span:
         """Context manager timing a pipeline stage; spans nest."""
@@ -210,6 +230,9 @@ class MetricsRegistry:
     def timer(self, name: str) -> TimerStats:
         return self._timers.get(name, TimerStats())
 
+    def histogram(self, name: str) -> HistogramStats:
+        return self._histograms.get(name, HistogramStats())
+
     def counters(self) -> Dict[str, int]:
         return dict(self._counters)
 
@@ -218,6 +241,9 @@ class MetricsRegistry:
 
     def timers(self) -> Dict[str, TimerStats]:
         return dict(self._timers)
+
+    def histograms(self) -> Dict[str, HistogramStats]:
+        return dict(self._histograms)
 
     def names(self) -> Iterator[str]:
         yield from sorted(
@@ -242,6 +268,11 @@ class MetricsRegistry:
             if mine is None:
                 mine = self._timers[name] = TimerStats()
             mine.merge(stats)
+        for name, histogram in other._histograms.items():
+            mine_h = self._histograms.get(name)
+            if mine_h is None:
+                mine_h = self._histograms[name] = HistogramStats()
+            mine_h.merge(histogram)
         return self
 
     def to_json(self) -> dict:
@@ -252,6 +283,10 @@ class MetricsRegistry:
                 name: stats.to_json()
                 for name, stats in sorted(self._timers.items())
             },
+            "histograms": {
+                name: histogram.to_json()
+                for name, histogram in sorted(self._histograms.items())
+            },
         }
 
     def __getstate__(self) -> dict:
@@ -259,12 +294,15 @@ class MetricsRegistry:
             "counters": self._counters,
             "gauges": self._gauges,
             "timers": self._timers,
+            "histograms": self._histograms,
         }
 
     def __setstate__(self, state: dict) -> None:
         self._counters = state["counters"]
         self._gauges = state["gauges"]
         self._timers = state["timers"]
+        # Registries pickled by pre-histogram versions load empty.
+        self._histograms = state.get("histograms", {})
         self._span_stack = []
         # Profiling is process-local (it wraps this interpreter's
         # tracemalloc); a shipped registry keeps its gauges only.

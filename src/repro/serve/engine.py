@@ -20,6 +20,7 @@ in memory, byte for byte.
 from __future__ import annotations
 
 import datetime
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.delegation.model import DailyDelegations
@@ -472,27 +473,63 @@ class QueryEngine:
 
     # -- queries --------------------------------------------------------
 
+    def _timed(self, kind: str, started: float) -> None:
+        """Record one ``engine.query.<kind>`` observation.
+
+        Pure lookup time — no socket write, no rate-limit charge — so
+        the serve-side ``serve.*.request`` histograms can be compared
+        against these to isolate protocol overhead.  Under the
+        :data:`~repro.obs.metrics.NULL` default this is one no-op call.
+        """
+        self.metrics.observe(
+            f"engine.query.{kind}", time.perf_counter() - started
+        )
+
     def whois_query(self, line: str) -> str:
         """Answer one WHOIS query line — byte-identical to
         :meth:`repro.whois.server.WhoisServer.query`."""
-        return self.whois.query(line)
+        started = time.perf_counter()
+        try:
+            return self.whois.query(line)
+        finally:
+            self._timed("whois", started)
 
     def rdap_ip(self, prefix: IPv4Prefix) -> Dict[str, object]:
         """RDAP ``/ip`` lookup minus rate limiting (the frontends
         charge :meth:`check_rate` once per request themselves)."""
-        return self.rdap.lookup_object(prefix)
+        started = time.perf_counter()
+        try:
+            return self.rdap.lookup_object(prefix)
+        finally:
+            self._timed("rdap_ip", started)
 
     def delegations_lookup(self, prefix: IPv4Prefix) -> dict:
-        return self.delegations.lookup(prefix)
+        started = time.perf_counter()
+        try:
+            return self.delegations.lookup(prefix)
+        finally:
+            self._timed("delegations", started)
 
     def as_history(self, asn: int) -> dict:
-        return self.delegations.as_history(asn)
+        started = time.perf_counter()
+        try:
+            return self.delegations.as_history(asn)
+        finally:
+            self._timed("as_history", started)
 
     def transfers_lookup(self, prefix: IPv4Prefix) -> dict:
-        return self.transfers.lookup(prefix)
+        started = time.perf_counter()
+        try:
+            return self.transfers.lookup(prefix)
+        finally:
+            self._timed("transfers", started)
 
     def market_summary(self) -> dict:
-        return self.market
+        started = time.perf_counter()
+        try:
+            return self.market
+        finally:
+            self._timed("market", started)
 
     def loaded_summary(self) -> dict:
         """Dataset sizes for ``/health`` and the startup banner."""

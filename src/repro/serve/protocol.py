@@ -114,6 +114,7 @@ def http_response(
     keep_alive: bool = True,
     retry_after_seconds: Optional[float] = None,
     head_only: bool = False,
+    request_id: Optional[str] = None,
 ) -> bytes:
     """Serialize one HTTP/1.1 response."""
     reason = _REASONS.get(status, "Unknown")
@@ -123,6 +124,10 @@ def http_response(
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
+    if request_id is not None:
+        # The id the server assigned this request — the handle that
+        # links a client-observed latency to its trace-lane event.
+        headers.append(f"X-Request-Id: {request_id}")
     if retry_after_seconds is not None:
         # RFC 7231 delay-seconds is an integer; never round a positive
         # wait down to an instant retry.

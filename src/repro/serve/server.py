@@ -34,6 +34,8 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
+import os
+import pathlib
 import signal
 import time
 from typing import Awaitable, Callable, Optional, Tuple
@@ -44,6 +46,7 @@ from repro.errors import (
     RdapRateLimitError,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SlidingWindow, to_prometheus
 from repro.obs.trace import TracingRegistry
 from repro.serve.engine import QueryEngine, parse_prefix_text
 from repro.serve.protocol import (
@@ -97,6 +100,10 @@ class ReproServeServer:
         self._apply_lock: Optional[asyncio.Lock] = None
         self._stopped: Optional[asyncio.Event] = None
         self._conn_seq = 0
+        self._request_seq = 0
+        #: Per-second ring buffer behind the ``/health`` rollup:
+        #: qps / error rate / p99 over the trailing 1 m and 5 m.
+        self._window = SlidingWindow(span_seconds=300)
         self._started_at: Optional[float] = None
         self.connections_total = 0
         self.whois_queries = 0
@@ -255,6 +262,47 @@ class ReproServeServer:
         peer = writer.get_extra_info("peername")
         return str(peer[0]) if peer else "unknown"
 
+    def _next_request_id(self) -> str:
+        """One id per request, shared across both protocols.
+
+        Returned to HTTP clients as ``X-Request-Id`` and stamped on
+        the request's trace event, so a client-observed latency can be
+        matched to the exact event in the server's timeline.
+        """
+        self._request_seq += 1
+        return f"req-{self._request_seq}"
+
+    def _observe_request(
+        self,
+        registry,
+        *,
+        kind: str,
+        label: str,
+        request_id: str,
+        started_wall: float,
+        elapsed: float,
+        error: bool,
+    ) -> None:
+        """Fold one finished request into every telemetry surface.
+
+        Per-protocol and per-route timers (each carrying a latency
+        histogram for free), the sliding ``/health`` window, and —
+        when the connection records into a trace lane — one event
+        named after the request id.
+        """
+        registry.observe(f"serve.{kind}.request", elapsed)
+        if kind == "http":
+            registry.observe(f"serve.http.route.{label}", elapsed)
+        self._window.record(self._clock(), elapsed, error=error)
+        trace = getattr(registry, "trace", None)
+        if trace is not None:
+            trace.add(
+                f"{kind}.{label}#{request_id}",
+                started_wall,
+                elapsed,
+                failed=error,
+            )
+
     async def _hook(self) -> None:
         if self._request_hook is not None:
             await self._request_hook()
@@ -296,6 +344,9 @@ class ReproServeServer:
                 break  # blank line ends a persistent session
             first_line = False
             self._busy.add(task)
+            request_id = self._next_request_id()
+            started_wall = time.time()
+            started = time.perf_counter()
             try:
                 response = await self._answer_whois(
                     " ".join(tokens), client_id, registry
@@ -304,27 +355,37 @@ class ReproServeServer:
                 if persistent:
                     writer.write(b"\n\n")
                 await writer.drain()
+                self._observe_request(
+                    registry,
+                    kind="whois",
+                    label="query",
+                    request_id=request_id,
+                    started_wall=started_wall,
+                    elapsed=time.perf_counter() - started,
+                    error=response.startswith(_WHOIS_INTERNAL_ERROR),
+                )
             finally:
                 self._busy.discard(task)
             if not persistent or self._draining:
                 break
 
     async def _answer_whois(self, line, client_id, registry) -> str:
+        # The request timer/histogram is recorded by the caller around
+        # the full wall (hook, engine answer, socket write + drain).
         await self._hook()
         self.whois_queries += 1
         registry.inc("serve.whois.requests")
-        with registry.span("serve.whois.request"):
-            try:
-                self._engine.check_rate(client_id, self._clock())
-            except RdapRateLimitError as exc:
-                registry.inc("serve.whois.throttled")
-                return whois_throttle_line(exc.retry_after_seconds or 0.0)
-            try:
-                return self._engine.whois_query(line)
-            except Exception:  # noqa: BLE001 - protocol must answer
-                logger.exception("whois query failed: %r", line)
-                registry.inc("serve.whois.errors")
-                return _WHOIS_INTERNAL_ERROR
+        try:
+            self._engine.check_rate(client_id, self._clock())
+        except RdapRateLimitError as exc:
+            registry.inc("serve.whois.throttled")
+            return whois_throttle_line(exc.retry_after_seconds or 0.0)
+        try:
+            return self._engine.whois_query(line)
+        except Exception:  # noqa: BLE001 - protocol must answer
+            logger.exception("whois query failed: %r", line)
+            registry.inc("serve.whois.errors")
+            return _WHOIS_INTERNAL_ERROR
 
     # -- the HTTP frontend ---------------------------------------------
 
@@ -376,17 +437,17 @@ class ReproServeServer:
                 client_id = self._client_id(
                     writer, request.header("x-client-id")
                 )
+                request_id = self._next_request_id()
+                started_wall = time.time()
+                started = time.perf_counter()
                 await self._hook()
                 self.http_requests += 1
                 registry.inc("serve.http.requests")
-                started = time.perf_counter()
-                status, body, content_type, retry_after = self._route(
-                    request, client_id, registry
-                )
-                registry.observe(
-                    "serve.http.request", time.perf_counter() - started
+                status, body, content_type, retry_after, label = (
+                    self._route(request, client_id, registry)
                 )
                 registry.inc(f"serve.http.status.{status}")
+                registry.inc(f"serve.http.status_class.{status // 100}xx")
                 keep = request.keep_alive and not self._draining
                 writer.write(http_response(
                     status,
@@ -395,8 +456,18 @@ class ReproServeServer:
                     keep_alive=keep,
                     retry_after_seconds=retry_after,
                     head_only=request.method == "HEAD",
+                    request_id=request_id,
                 ))
                 await writer.drain()
+                self._observe_request(
+                    registry,
+                    kind="http",
+                    label=label,
+                    request_id=request_id,
+                    started_wall=started_wall,
+                    elapsed=time.perf_counter() - started,
+                    error=status >= 500,
+                )
             finally:
                 self._busy.discard(task)
             if not keep:
@@ -410,9 +481,14 @@ class ReproServeServer:
 
     def _route(
         self, request: HttpRequest, client_id: str, registry
-    ) -> Tuple[int, bytes, str, Optional[float]]:
-        """Dispatch one request; returns (status, body, type, retry)."""
-        path = request.path.split("?", 1)[0]
+    ) -> Tuple[int, bytes, str, Optional[float], str]:
+        """Dispatch one request.
+
+        Returns ``(status, body, content_type, retry_after, label)``;
+        the label names the route in per-route latency histograms
+        (``serve.http.route.<label>``) and trace-lane events.
+        """
+        path, _, query = request.path.partition("?")
         if request.method not in ("GET", "HEAD"):
             return (
                 405,
@@ -421,19 +497,29 @@ class ReproServeServer:
                 )),
                 "application/json",
                 None,
+                "method_not_allowed",
             )
+        label = "unmatched"
         try:
             if path == "/health":
                 with registry.span("serve.http.health"):
                     return (
                         200, render_json(self.health()),
-                        "application/json", None,
+                        "application/json", None, "health",
                     )
             if path == "/metrics":
                 with registry.span("serve.http.metrics"):
+                    if self._wants_prometheus(request, query):
+                        return (
+                            200,
+                            self.prometheus_text().encode("utf-8"),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            None,
+                            "metrics",
+                        )
                     return (
                         200, render_json(self.metrics_snapshot()),
-                        "application/json", None,
+                        "application/json", None, "metrics",
                     )
             if any(path.startswith(p) for p in self._LIMITED_PREFIXES):
                 try:
@@ -448,37 +534,55 @@ class ReproServeServer:
                         )),
                         "application/rdap+json",
                         retry_after,
+                        "throttled",
                     )
             if path.startswith("/ip/"):
+                label = "ip"
                 with registry.span("serve.http.ip"):
                     payload = self._engine.rdap_ip(
                         parse_prefix_text(path[len("/ip/"):])
                     )
                 return (
                     200, render_json(payload),
-                    "application/rdap+json", None,
+                    "application/rdap+json", None, "ip",
                 )
             if path.startswith("/delegations/"):
+                label = "delegations"
                 with registry.span("serve.http.delegations"):
                     payload = self._engine.delegations_lookup(
                         parse_prefix_text(path[len("/delegations/"):])
                     )
-                return 200, render_json(payload), "application/json", None
+                return (
+                    200, render_json(payload),
+                    "application/json", None, "delegations",
+                )
             if path.startswith("/as/") and path.endswith("/delegations"):
+                label = "as"
                 asn_text = path[len("/as/"):-len("/delegations")]
                 with registry.span("serve.http.as"):
                     payload = self._engine.as_history(int(asn_text))
-                return 200, render_json(payload), "application/json", None
+                return (
+                    200, render_json(payload),
+                    "application/json", None, "as",
+                )
             if path.startswith("/transfers/"):
+                label = "transfers"
                 with registry.span("serve.http.transfers"):
                     payload = self._engine.transfers_lookup(
                         parse_prefix_text(path[len("/transfers/"):])
                     )
-                return 200, render_json(payload), "application/json", None
+                return (
+                    200, render_json(payload),
+                    "application/json", None, "transfers",
+                )
             if path == "/market/summary":
+                label = "market"
                 with registry.span("serve.http.market"):
                     payload = self._engine.market_summary()
-                return 200, render_json(payload), "application/json", None
+                return (
+                    200, render_json(payload),
+                    "application/json", None, "market",
+                )
         except RdapNotFoundError as exc:
             return (
                 404,
@@ -487,6 +591,7 @@ class ReproServeServer:
                 )),
                 "application/rdap+json",
                 None,
+                label,
             )
         except (PrefixError, ValueError) as exc:
             return (
@@ -496,6 +601,7 @@ class ReproServeServer:
                 )),
                 "application/json",
                 None,
+                label,
             )
         return (
             404,
@@ -504,7 +610,25 @@ class ReproServeServer:
             )),
             "application/json",
             None,
+            "unmatched",
         )
+
+    @staticmethod
+    def _wants_prometheus(request: HttpRequest, query: str) -> bool:
+        """Content negotiation for ``/metrics``.
+
+        ``?format=prom`` (or ``format=prometheus``) forces the text
+        exposition; otherwise an ``Accept`` header preferring
+        ``text/plain`` or OpenMetrics gets it, and everything else —
+        including the bare default — keeps the JSON document PR 6
+        shipped.
+        """
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "format":
+                return value in ("prom", "prometheus")
+        accept = request.header("accept").lower()
+        return "text/plain" in accept or "openmetrics" in accept
 
     # -- live delta apply -----------------------------------------------
 
@@ -566,6 +690,10 @@ class ReproServeServer:
                 "live": self._engine.rdap.live_limiter_count,
                 "evicted": self._engine.rdap.evicted_count,
             },
+            "window": {
+                "1m": self._window.snapshot(self._clock(), 60),
+                "5m": self._window.snapshot(self._clock(), 300),
+            },
         }
         if self._engine.delta is not None:
             document["delta"] = {
@@ -583,6 +711,10 @@ class ReproServeServer:
         snapshot = self._metrics.to_json()
         snapshot["enabled"] = self._metrics.enabled
         return snapshot
+
+    def prometheus_text(self) -> str:
+        """The ``/metrics`` document in Prometheus text exposition."""
+        return to_prometheus(self._metrics.to_json())
 
 
 def run_server(
@@ -606,11 +738,19 @@ def run_server(
     async def _main() -> None:
         await server.start()
         if ready_path is not None:
-            with open(ready_path, "w", encoding="utf-8") as handle:
-                handle.write(
-                    f"{server.host} {server.whois_port} "
-                    f"{server.http_port}\n"
-                )
+            # Atomic publish (the store/cache temp convention): a
+            # script polling for this file must never read a torn
+            # half-line, so write a sibling and rename into place.
+            target = pathlib.Path(ready_path)
+            tmp = target.with_name(
+                f"{target.name}.tmp.{os.getpid()}"
+            )
+            tmp.write_text(
+                f"{server.host} {server.whois_port} "
+                f"{server.http_port}\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, target)
         if on_ready is not None:
             on_ready(server)
         loop = asyncio.get_running_loop()

@@ -198,6 +198,109 @@ class TestProfileMem:
         assert not any(name.startswith("profile.") for name in gauges)
 
 
+class TestPromOut:
+    def test_infer_writes_valid_prometheus_text(self, tmp_path, capsys):
+        from repro.obs.telemetry import parse_prometheus_text
+
+        prom = tmp_path / "metrics.prom"
+        _run_infer(capsys, ["--jobs", "2", "--prom-out", str(prom)])
+        families = parse_prometheus_text(
+            prom.read_text(encoding="utf-8")
+        )
+        # The runner's per-day latency fans in as a real histogram.
+        day = families["repro_runner_compute_day_seconds"]
+        assert day["type"] == "histogram"
+        assert families["repro_pipeline_pairs_seen_total"]["type"] == (
+            "counter"
+        )
+
+    def test_prom_out_is_inert(self, tmp_path, capsys):
+        for jobs in ("1", "2"):
+            plain = _run_infer(capsys, ["--jobs", jobs])
+            instrumented = _run_infer(capsys, [
+                "--jobs", jobs,
+                "--prom-out", str(tmp_path / f"m{jobs}.prom"),
+            ])
+            assert instrumented == plain
+
+    def test_figures_csvs_identical_with_prom_out(self, tmp_path, capsys):
+        def run(name, extra):
+            out = tmp_path / name
+            assert main(["figures", str(out)] + extra) == 0
+            capsys.readouterr()
+            return {
+                fig: (out / f"{fig}.csv").read_bytes()
+                for fig in _DATA_FIGS
+            }
+
+        baseline = run("plain", [])
+        prom_seq = run("prom_seq", [
+            "--prom-out", str(tmp_path / "seq.prom"),
+        ])
+        prom_par = run("prom_par", [
+            "--jobs", "2", "--prom-out", str(tmp_path / "par.prom"),
+        ])
+        assert prom_seq == baseline
+        assert prom_par == baseline
+
+    def test_prom_out_bad_paths_rejected(self, tmp_path, capsys):
+        for bad in (tmp_path, tmp_path / "no" / "m.prom"):
+            assert main(_INFER_ARGS + ["--prom-out", str(bad)]) == 2
+            err = capsys.readouterr().err
+            assert "--prom-out" in err
+
+
+class TestObsTopCli:
+    def test_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "obs", "top", "localhost:8080",
+            "--interval", "0.5", "--count", "2", "--no-clear",
+        ])
+        assert args.target == "localhost:8080"
+        assert args.interval == 0.5
+        assert args.count == 2
+        assert args.no_clear
+
+    def test_unreachable_target_is_clean_error(self, capsys):
+        assert main([
+            "obs", "top", "127.0.0.1:1", "--count", "1"
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
+
+    def test_top_against_live_server(self, tmp_path, capsys):
+        """End-to-end: one dashboard frame from a real CLI server."""
+        import threading
+        import time as time_module
+
+        ready = tmp_path / "ready.txt"
+        server = threading.Thread(target=main, args=([
+            "serve", "--no-infer",
+            "--whois-port", "0", "--http-port", "0",
+            "--serve-seconds", "3",
+            "--ready-file", str(ready),
+        ],))
+        server.start()
+        try:
+            deadline = time_module.monotonic() + 10.0
+            while not ready.exists():
+                assert time_module.monotonic() < deadline, "no ready file"
+                time_module.sleep(0.02)
+            host, _whois, http_port = ready.read_text().split()
+            assert main([
+                "obs", "top", f"{host}:{http_port}",
+                "--count", "1", "--no-clear",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "repro obs top — ok" in out
+            assert "1m" in out and "5m" in out
+        finally:
+            server.join(timeout=15.0)
+        assert not server.is_alive()
+
+
 class TestHistoryCli:
     @pytest.fixture()
     def recorded(self, tmp_path, capsys):
@@ -265,6 +368,34 @@ class TestHistoryCli:
         out = capsys.readouterr().out
         assert "regression" in out
         assert "timer" in out
+
+    def test_check_exits_nonzero_on_p99_regression(self, recorded, capsys):
+        # Forge a run whose totals are untouched but whose recorded
+        # tail latencies blew out: only the p99 gate can catch it.
+        entries = [
+            json.loads(line)
+            for line in recorded.read_text(encoding="utf-8").splitlines()
+        ]
+        slow = dict(entries[0])
+        slow["id"] = 3
+        slow["timers"] = {
+            name: dict(
+                stats,
+                p99_seconds=stats["p99_seconds"] * 100 + 10,
+            ) if "p99_seconds" in stats else dict(stats)
+            for name, stats in slow["timers"].items()
+        }
+        assert slow["timers"] != entries[0]["timers"], \
+            "expected recorded p99s to forge a regression from"
+        with open(recorded, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(slow, sort_keys=True) + "\n")
+        assert main([
+            "history", "--history", str(recorded),
+            "check", "--baseline", "1", "--candidate", "3",
+            "--max-regress", "20%", "--min-seconds", "0.0000001",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "p99" in out
 
     def test_record_reports_id_and_store(self, tmp_path, capsys):
         path = tmp_path / "m.json"

@@ -21,9 +21,23 @@ def _manifest(
     quarantined=0,
     config_hash="abc123" * 8,
     profile=None,
+    runner_p99=None,
+    mismatched=0,
 ):
     """A minimal but structurally faithful manifest payload."""
     gauges = dict(profile or {})
+    counters = {"spans.mismatched": mismatched} if mismatched else {}
+    histograms = {}
+    if runner_p99 is not None:
+        histograms["runner"] = {
+            "count": 1,
+            "total_seconds": runner_seconds,
+            "p50_seconds": runner_p99,
+            "p90_seconds": runner_p99,
+            "p99_seconds": runner_p99,
+            "p999_seconds": runner_p99,
+            "buckets": {"20": 1},
+        }
     return {
         "schema": 1,
         "command": "infer",
@@ -45,8 +59,9 @@ def _manifest(
         ),
         "extra": {"scale": "small", "seed": 42},
         "metrics": {
-            "counters": {},
+            "counters": counters,
             "gauges": gauges,
+            "histograms": histograms,
             "timers": {
                 "runner": {
                     "count": 1,
@@ -104,6 +119,18 @@ class TestSummarizeManifest:
         assert entry["stages"] == {}
         assert entry["timers"] == {}
         assert entry["quarantined"] == 0
+
+    def test_carries_mean_and_histogram_p99(self):
+        entry = summarize_manifest(_manifest(runner_p99=0.9))
+        runner = entry["timers"]["runner"]
+        assert runner["mean_seconds"] == pytest.approx(1.0)
+        assert runner["p99_seconds"] == pytest.approx(0.9)
+        # A timer with no histogram simply has no p99 key.
+        assert "p99_seconds" not in entry["timers"]["runner.fan_in"]
+
+    def test_mismatched_spans_ride_in_malformed_map(self):
+        entry = summarize_manifest(_manifest(mismatched=2))
+        assert entry["malformed"]["spans.mismatched"] == 2
 
 
 class TestRunHistory:
@@ -202,6 +229,39 @@ class TestFindRegressions:
         )
         regressions = find_regressions(base, cand, max_regress=10.0)
         assert any("quarantined" in line for line in regressions)
+
+    def test_p99_regression_flagged_even_with_flat_total(self):
+        # Same wall-clock total, but the tail blew out: the mean gate
+        # stays silent and only the p99 gate catches it.
+        base, cand = self._entries(
+            {"runner_seconds": 1.0, "runner_p99": 0.1},
+            {"runner_seconds": 1.0, "runner_p99": 0.8},
+        )
+        regressions = find_regressions(base, cand, max_regress=0.20)
+        assert len(regressions) == 1
+        assert "p99" in regressions[0]
+
+    def test_p99_under_noise_floor_never_gates(self):
+        base, cand = self._entries(
+            {"runner_seconds": 1.0, "runner_p99": 0.001},
+            {"runner_seconds": 1.0, "runner_p99": 0.040},
+        )
+        assert find_regressions(
+            base, cand, max_regress=0.20, min_seconds=0.05
+        ) == []
+
+    def test_p99_gate_skips_entries_without_histograms(self):
+        # Baseline recorded before histograms existed: no p99 key.
+        base, cand = self._entries(
+            {"runner_seconds": 1.0},
+            {"runner_seconds": 1.0, "runner_p99": 5.0},
+        )
+        assert find_regressions(base, cand, max_regress=0.20) == []
+
+    def test_mismatched_span_increase_flagged(self):
+        base, cand = self._entries({}, {"mismatched": 1})
+        regressions = find_regressions(base, cand, max_regress=10.0)
+        assert any("spans.mismatched" in line for line in regressions)
 
     def test_attrition_drift_needs_same_config(self):
         same_base, same_cand = self._entries(

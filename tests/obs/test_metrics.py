@@ -134,6 +134,31 @@ class TestSpans:
         # The exception also propagated through the outer span.
         assert registry.counter("outer.failed") == 1
 
+    def test_mismatched_exit_records_counter(self):
+        """Out-of-order span exits are counted, not silently skipped.
+
+        Previously an overlapping exit left the stack untouched and
+        said nothing — corrupted nesting (every descendant span
+        mis-prefixed from then on) was invisible.  The counter makes
+        it gate-able in manifests and ``history check``.
+        """
+        registry = MetricsRegistry()
+        outer = registry.span("outer").__enter__()
+        inner = registry.span("inner").__enter__()
+        outer.__exit__(None, None, None)  # wrong order: inner on top
+        inner.__exit__(None, None, None)
+        assert registry.counter("spans.mismatched") == 1
+        # Both timers still recorded their wall clock.
+        assert registry.timer("outer").count == 1
+        assert registry.timer("outer.inner").count == 1
+
+    def test_clean_nesting_records_no_mismatch(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        assert "spans.mismatched" not in registry.counters()
+
 
 class TestMerge:
     def test_merge_returns_self_and_sums(self):
@@ -227,7 +252,8 @@ class TestNullRegistry:
         with registry.span("stage"):
             pass
         assert registry.to_json() == {
-            "counters": {}, "gauges": {}, "timers": {}
+            "counters": {}, "gauges": {}, "timers": {},
+            "histograms": {},
         }
 
     def test_enabled_flag(self):

@@ -46,8 +46,14 @@ def _canon(registry: MetricsRegistry) -> dict:
     """Comparable snapshot with float-tolerant timer totals."""
     payload = registry.to_json()
     for stats in payload["timers"].values():
-        for key in ("total_seconds", "min_seconds", "max_seconds"):
+        for key in (
+            "total_seconds", "mean_seconds", "min_seconds", "max_seconds"
+        ):
             stats[key] = round(stats[key], 6)
+    for stats in payload["histograms"].values():
+        # Bucket counts and quantiles are exact (integer counts,
+        # fixed bounds); only the running sum accumulates float error.
+        stats["total_seconds"] = round(stats["total_seconds"], 6)
     payload["gauges"] = {
         name: round(value, 6)
         for name, value in payload["gauges"].items()

@@ -1,0 +1,156 @@
+"""Unit tests for the ``repro obs top`` dashboard loop.
+
+``run_top`` takes injectable fetch/clock/sleep/out hooks precisely so
+this suite can drive the refresh loop without a socket; the real
+fetcher is exercised end-to-end by the serve CLI tests.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.obs.top import (
+    CLEAR,
+    parse_target,
+    render_dashboard,
+    run_top,
+)
+
+
+def _health(requests=5, p99=0.004):
+    snap = {
+        "requests": requests,
+        "qps": requests / 60.0,
+        "errors": 0,
+        "errorRate": 0.0,
+        "p99Seconds": p99,
+        "windowSeconds": 60,
+    }
+    return {
+        "status": "ok",
+        "uptimeSeconds": 12.0,
+        "connections": {"live": 1},
+        "window": {"1m": snap, "5m": dict(snap, windowSeconds=300)},
+    }
+
+
+def _metrics(ip_requests=5, mismatched=0):
+    registry = MetricsRegistry()
+    for _ in range(ip_requests):
+        registry.observe("serve.http.request", 0.002)
+        registry.observe("serve.http.route.ip", 0.002)
+    if mismatched:
+        registry.inc("spans.mismatched", mismatched)
+    return registry.to_json()
+
+
+class TestParseTarget:
+    def test_host_port(self):
+        assert parse_target("localhost:8080") == ("localhost", 8080)
+
+    def test_url_with_path(self):
+        assert parse_target("http://127.0.0.1:9100/metrics") == (
+            "127.0.0.1", 9100
+        )
+
+    def test_https_prefix(self):
+        assert parse_target("https://h:1") == ("h", 1)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ReproError, match="host:port"):
+            parse_target("localhost")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ReproError, match="bad port"):
+            parse_target("localhost:http")
+
+
+class TestRenderDashboard:
+    def test_first_frame_has_windows_and_routes(self):
+        frame = render_dashboard(_health(), _metrics())
+        assert "repro obs top — ok" in frame
+        assert "1m" in frame and "5m" in frame
+        # Route rows are discovered from histogram names; qps is
+        # blank until a second poll provides a counter delta.
+        assert "ip" in frame
+        assert "-" in frame
+        assert "warning" not in frame
+
+    def test_qps_from_counter_deltas(self):
+        frame = render_dashboard(
+            _health(),
+            _metrics(ip_requests=25),
+            previous=_metrics(ip_requests=5),
+            elapsed=2.0,
+        )
+        # 20 new requests over 2 s -> 10.00 qps on both rows.
+        assert frame.count("10.00") >= 2
+
+    def test_mismatched_spans_warn(self):
+        frame = render_dashboard(_health(), _metrics(mismatched=3))
+        assert "warning: 3 mismatched span exit(s)" in frame
+
+    def test_empty_server_renders_slo_only(self):
+        frame = render_dashboard(_health(requests=0), _metrics(0))
+        assert "repro obs top" in frame
+        assert "per-route" not in frame
+
+
+class TestRunTop:
+    def _spy(self, polls):
+        """A fetcher yielding successive metric documents."""
+        state = {"i": 0}
+
+        def fetch(host, port):
+            assert (host, port) == ("localhost", 9999)
+            i = min(state["i"], len(polls) - 1)
+            state["i"] += 1
+            return _health(), polls[i]
+
+        return fetch
+
+    def test_renders_count_frames_then_stops(self):
+        frames, naps = [], []
+        ticks = iter([10.0, 12.0, 14.0])
+        code = run_top(
+            "localhost:9999",
+            interval=2.0,
+            count=3,
+            clear=False,
+            fetch=self._spy([_metrics(5), _metrics(25), _metrics(40)]),
+            sleep=naps.append,
+            clock=lambda: next(ticks),
+            out=frames.append,
+        )
+        assert code == 0
+        assert len(frames) == 3
+        # Sleeps *between* frames only: count - 1 of them.
+        assert naps == [2.0, 2.0]
+        # Second frame computed qps from the counter delta.
+        assert "10.00" in frames[1]
+
+    def test_clear_prefixes_ansi(self):
+        frames = []
+        run_top(
+            "localhost:9999",
+            count=1,
+            fetch=self._spy([_metrics()]),
+            out=frames.append,
+        )
+        assert frames[0].startswith(CLEAR)
+
+    def test_keyboard_interrupt_exits_cleanly(self):
+        def fetch(host, port):
+            raise KeyboardInterrupt
+
+        assert run_top("localhost:9999", fetch=fetch) == 0
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ReproError, match="interval"):
+            run_top("localhost:9999", interval=0.0)
+
+    def test_unreachable_target_raises(self):
+        # The real fetcher against a closed port: a clean ReproError,
+        # not a raw socket traceback.
+        with pytest.raises(ReproError, match="cannot reach"):
+            run_top("127.0.0.1:1", count=1)

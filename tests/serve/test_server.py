@@ -459,3 +459,176 @@ class TestObservability:
         lanes = registry.trace.lanes()
         assert any(lane.startswith("whois-") for lane in lanes)
         assert any(lane.startswith("http-") for lane in lanes)
+
+
+class TestTelemetry:
+    """The PR-9 surfaces: histograms, windows, request ids, /metrics."""
+
+    def _engine(self, world):
+        from repro.obs import MetricsRegistry
+        from repro.rdap.server import RdapServer
+        from repro.serve import QueryEngine
+        from repro.whois.server import WhoisServer
+
+        database = world.whois()
+        return QueryEngine(
+            whois=WhoisServer(database),
+            rdap=RdapServer(
+                database, rate_limit_per_second=1e6, burst=1_000_000
+            ),
+            metrics=MetricsRegistry(),
+        )
+
+    def test_per_route_and_per_protocol_histograms(self, world):
+        engine = self._engine(world)
+        prefix = str(sample_prefixes(engine, 1)[0])
+
+        async def scenario(server):
+            await whois_request(server.host, server.whois_port, prefix)
+            session = HttpSession(server.host, server.http_port)
+            await session.connect()
+            await session.get(f"/ip/{prefix}")
+            await session.get("/market/summary")
+            await session.close()
+
+        serve(engine, scenario)
+        metrics = engine.metrics
+        assert metrics.histogram("serve.whois.request").count == 1
+        assert metrics.histogram("serve.http.request").count == 2
+        assert metrics.histogram("serve.http.route.ip").count == 1
+        assert metrics.histogram("serve.http.route.market").count == 1
+        # Engine-side query timings isolate lookup cost from protocol.
+        assert metrics.histogram("engine.query.whois").count == 1
+        assert metrics.histogram("engine.query.rdap_ip").count == 1
+        # Status-class counters alongside exact statuses.
+        assert metrics.counter("serve.http.status_class.2xx") == 2
+
+    def test_request_ids_in_headers_and_trace(self, world):
+        from repro.obs import TracingRegistry
+        from repro.rdap.server import RdapServer
+        from repro.serve import QueryEngine
+        from repro.whois.server import WhoisServer
+
+        registry = TracingRegistry(lane="main")
+        database = world.whois()
+        engine = QueryEngine(
+            whois=WhoisServer(database),
+            rdap=RdapServer(
+                database, rate_limit_per_second=1e6, burst=1_000_000
+            ),
+            metrics=registry,
+        )
+        prefix = str(sample_prefixes(engine, 1)[0])
+
+        async def scenario(server):
+            session = HttpSession(server.host, server.http_port)
+            await session.connect()
+            results = [
+                await session.get(f"/ip/{prefix}"),
+                await session.get("/health"),
+            ]
+            await session.close()
+            return results
+
+        results = serve(engine, scenario)
+        ids = [headers["x-request-id"] for _s, headers, _b in results]
+        assert len(set(ids)) == 2
+        assert all(rid.startswith("req-") for rid in ids)
+        # Each request became one trace event named after its id.
+        names = [event.name for event in registry.trace.events()]
+        for rid in ids:
+            assert any(name.endswith(f"#{rid}") for name in names)
+        assert any(f"http.ip#{ids[0]}" in name for name in names)
+
+    def test_health_window_rollup(self, world):
+        engine = self._engine(world)
+        prefix = str(sample_prefixes(engine, 1)[0])
+
+        async def scenario(server):
+            session = HttpSession(server.host, server.http_port)
+            await session.connect()
+            for _ in range(3):
+                await session.get(f"/ip/{prefix}")
+            _status, _h, body = await session.get("/health")
+            await session.close()
+            return json.loads(body)
+
+        health = serve(engine, scenario)
+        window = health["window"]
+        assert set(window) == {"1m", "5m"}
+        one_minute = window["1m"]
+        assert one_minute["windowSeconds"] == 60
+        assert one_minute["requests"] >= 3
+        assert one_minute["errorRate"] == 0.0
+        assert one_minute["p99Seconds"] > 0.0
+        # Everything in the 1m window is inside the 5m window too.
+        assert window["5m"]["requests"] >= one_minute["requests"]
+
+    def test_metrics_prom_negotiation(self, world):
+        from repro.obs.telemetry import parse_prometheus_text
+
+        engine = self._engine(world)
+        prefix = str(sample_prefixes(engine, 1)[0])
+
+        async def scenario(server):
+            session = HttpSession(server.host, server.http_port)
+            await session.connect()
+            await session.get(f"/ip/{prefix}")
+            results = [
+                await session.get("/metrics"),
+                await session.get("/metrics?format=prom"),
+            ]
+            await session.close()
+            return results
+
+        json_result, prom_result = serve(engine, scenario)
+        status, headers, body = json_result
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        json.loads(body)  # the PR-6 JSON document is unchanged
+        status, headers, body = prom_result
+        assert status == 200
+        assert headers["content-type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        families = parse_prometheus_text(body.decode("utf-8"))
+        histogram = families["repro_serve_http_route_ip_seconds"]
+        assert histogram["type"] == "histogram"
+
+    def test_metrics_prom_accept_header(self, world):
+        engine = self._engine(world)
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.http_port
+            )
+            writer.write(
+                b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                b"Accept: text/plain\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = serve(engine, scenario)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"text/plain; version=0.0.4" in head
+        assert body.lstrip().startswith(b"# TYPE repro_")
+
+    def test_ready_file_written_atomically(self, world, tmp_path):
+        from repro.serve import run_server
+
+        engine = self._engine(world)
+        target = tmp_path / "ready.txt"
+        server = ReproServeServer(engine)
+        run_server(
+            server,
+            serve_seconds=0.01,
+            ready_path=str(target),
+            install_signal_handlers=False,
+        )
+        host, whois_port, http_port = target.read_text().split()
+        assert int(whois_port) > 0 and int(http_port) > 0
+        # The temp sibling was renamed into place, never left behind.
+        assert sorted(tmp_path.iterdir()) == [target]
