@@ -15,6 +15,7 @@ this smoke run asserts correctness only and merely *records* the
 ratio; the floor is enforced by ``bench_fig6_delegations``.
 """
 
+import random
 import time
 
 from repro.delegation import (
@@ -24,7 +25,49 @@ from repro.delegation import (
     run_inference,
     write_daily_delegations,
 )
+from repro.netbase.lpm import SortedPrefixMap, pack
+from repro.netbase.prefix import IPv4Prefix
 from repro.simulation import World, small_scenario
+
+
+def _lpm_fixture(entries, queries, seed=40):
+    """A dense synthetic map plus a mixed-length query batch."""
+    rng = random.Random(seed)
+    seen = {}
+    while len(seen) < entries:
+        length = rng.randint(8, 28)
+        network = rng.randrange(1 << 32) & ~((1 << (32 - length)) - 1)
+        seen[pack(network, length)] = len(seen)
+    spm = SortedPrefixMap(
+        (IPv4Prefix(key >> 6, key & 0x3F), value)
+        for key, value in seen.items()
+    )
+    batch = []
+    for _ in range(queries):
+        length = rng.randint(0, 32)
+        network = rng.randrange(1 << 32) & ~((1 << (32 - length)) - 1)
+        batch.append(IPv4Prefix(network, length))
+    return spm, batch
+
+
+def _longest_match_linear(spm, prefix):
+    """Reference lookup scanning every stored length.
+
+    The pre-bisect implementation: walk all distinct lengths and skip
+    the too-long ones one comparison at a time.  Kept inline here (via
+    the map's private columns) purely as the "before" side of the
+    recorded speedup.
+    """
+    network = prefix.network
+    length = prefix.length
+    for candidate in reversed(spm._lengths):
+        if candidate > length:
+            continue
+        masked = network & ~((1 << (32 - candidate)) - 1)
+        index = spm._find((masked << 6) | candidate)
+        if index >= 0:
+            return IPv4Prefix(masked, candidate), spm._values[index]
+    return None
 
 
 def _counters(result):
@@ -111,6 +154,17 @@ def test_smoke_kernel_differential(record_bench_json, tmp_path):
     assert _counters(inc_warm) == _counters(sequential["object"])
     assert inc_warm.runner_stats.days_computed == 0
 
+    # LPM lookup micro-timing: the bisect-bounded candidate-length
+    # walk against the old scan-every-length reference, same queries.
+    spm, queries = _lpm_fixture(entries=20_000, queries=30_000)
+    t0 = time.perf_counter()
+    bisect_hits = [spm.longest_match(q) for q in queries]
+    timings["lpm_longest_match_bisect"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    linear_hits = [_longest_match_linear(spm, q) for q in queries]
+    timings["lpm_longest_match_linear"] = time.perf_counter() - t0
+    assert bisect_hits == linear_hits
+
     record_bench_json("smoke_kernel", {
         "benchmark": "smoke_kernel_differential",
         "scenario": "small",
@@ -132,6 +186,10 @@ def test_smoke_kernel_differential(record_bench_json, tmp_path):
             "warm_replay_vs_incremental_cold": round(
                 timings["incremental_cold"]
                 / timings["incremental_warm_replay"], 2
+            ),
+            "lpm_bisect_vs_linear_scan": round(
+                timings["lpm_longest_match_linear"]
+                / timings["lpm_longest_match_bisect"], 2
             ),
         },
     })

@@ -137,6 +137,20 @@ def _check_runner_flags(args: argparse.Namespace) -> None:
             ) from exc
         if not os.access(path, os.W_OK):
             raise ReproError(f"--store: {path} is not writable")
+    day_shards = getattr(args, "day_shards", None)
+    if day_shards is not None:
+        if day_shards < 1:
+            raise ReproError(
+                f"--day-shards must be at least 1 (got {day_shards})"
+            )
+        if day_shards > 1 and getattr(args, "kernel", None) == "object":
+            raise ReproError(
+                "--day-shards requires the columnar kernel"
+            )
+        if day_shards > 1 and getattr(args, "incremental", False):
+            raise ReproError(
+                "--day-shards cannot combine with --incremental"
+            )
     _check_obs_flags(args)
 
 
@@ -416,6 +430,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         incremental=args.incremental,
         journal_dir=args.journal,
         store_dir=args.store,
+        day_shards=args.day_shards,
     )
     if args.metrics_out is not None:
         _write_infer_manifest(
@@ -588,6 +603,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
             kernel=args.kernel, incremental=args.incremental,
             journal_dir=args.journal, store_dir=args.store,
+            day_shards=args.day_shards,
         )
         baseline = run_inference(
             factory, world.config.bgp_start, world.config.bgp_end,
@@ -595,6 +611,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             jobs=args.jobs, cache_dir=args.cache_dir, metrics=metrics,
             kernel=args.kernel, incremental=args.incremental,
             journal_dir=args.journal, store_dir=args.store,
+            day_shards=args.day_shards,
         )
         results = [extended, baseline]
         written.append(
@@ -699,6 +716,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             incremental=args.incremental,
             journal_dir=args.journal,
             store_dir=args.store,
+            day_shards=args.day_shards,
             rate_limit_per_second=args.rate_limit,
             burst=args.burst,
             max_clients=args.max_clients,
@@ -861,6 +879,12 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
              "under DIR (the out-of-core data plane); warm days are "
              "zero-copy maps shared by every config, kernel, and "
              "worker process",
+    )
+    parser.add_argument(
+        "--day-shards", type=int, default=1, metavar="K",
+        help="split each computed day into K per-/8 sub-tasks so one "
+             "heavy day saturates the worker pool (columnar kernel "
+             "only; output is byte-identical for any K)",
     )
     _add_obs_arguments(parser)
 

@@ -162,9 +162,10 @@ def evaluate_rules_on_rpki(
     # scales with its premise count, which shrinks as M grows.
     shards = [spans[i::resolved_jobs] for i in range(resolved_jobs)]
     evaluations: List[RuleEvaluation] = []
-    with concurrent.futures.ProcessPoolExecutor(
+    executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=resolved_jobs
-    ) as executor:
+    )
+    try:
         futures = [
             executor.submit(
                 _evaluate_span_subset,
@@ -182,6 +183,12 @@ def evaluate_rules_on_rpki(
                     "rule-evaluation worker failed: "
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
+    finally:
+        # Not the context manager: on error or interrupt its plain
+        # shutdown would still drain every queued shard before this
+        # process can exit; cancelling strands no workers on a sweep
+        # that already failed.
+        executor.shutdown(wait=True, cancel_futures=True)
     evaluations.sort(key=lambda e: (e.max_span_days, e.allowed_missing))
     return evaluations
 

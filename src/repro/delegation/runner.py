@@ -45,6 +45,7 @@ from __future__ import annotations
 import concurrent.futures
 import datetime
 import hashlib
+import itertools
 import json
 import logging
 import os
@@ -54,9 +55,11 @@ import sys
 import time
 from array import array
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.asorg.as2org import As2OrgDataset
+from repro.bgp.rib import PairTable
 from repro.bgp.stream import RouteStream, date_range
 from repro.delegation import delta as delta_mod
 from repro.delegation.consistency import fill_gaps
@@ -70,12 +73,14 @@ from repro.delegation.inference import (
 from repro.delegation.io import content_digest
 from repro.delegation.model import DailyDelegations
 from repro.errors import ReproError
-from repro.netbase.lpm import require_codec_itemsizes
+from repro.netbase.lpm import day_shard_bounds, require_codec_itemsizes
 from repro.netbase.prefix import IPv4Prefix
 from repro.obs.metrics import NULL, MetricsRegistry
 from repro.store.shard import (
     ShardStore,
     atomic_write_bytes,
+    decode_shard_buffer,
+    encode_shard_bytes,
     sweep_stale_temporaries,
 )
 
@@ -236,6 +241,25 @@ _COUNTER_FIELDS = (
 )
 
 
+def _quads_body_bytes(quads) -> bytes:
+    """The flat little-endian u32 body for any quad sequence.
+
+    Zero-copy fan-in views and shard-merged concatenations have the
+    bytes (or their parts' bytes) already in payload order, so they
+    re-encode without touching a single quad tuple.
+    """
+    if isinstance(quads, _QuadView):
+        return quads.tobytes()
+    if isinstance(quads, _ConcatQuads):
+        return b"".join(_quads_body_bytes(part) for part in quads.parts)
+    body = array("I")
+    for quad in quads:
+        body.extend(quad)
+    if sys.byteorder != "little":
+        body.byteswap()
+    return body.tobytes()
+
+
 def _encode_payload(payload: dict) -> bytes:
     """Serialize one day's payload into the v2 binary form."""
     date = payload["date"]
@@ -245,12 +269,20 @@ def _encode_payload(payload: dict) -> bytes:
         _CACHE_MAGIC, CACHE_SCHEMA, date.year, date.month, date.day,
         *(counters[name] for name in _COUNTER_FIELDS), len(quads),
     )
-    body = array("I")
-    for quad in quads:
-        body.extend(quad)
-    if sys.byteorder != "little":
-        body.byteswap()
-    return header + body.tobytes()
+    return header + _quads_body_bytes(quads)
+
+
+def _payload_to_bytes(payload: dict) -> bytes:
+    """A payload's exact v2 bytes, reusing the raw view when present.
+
+    Payloads decoded zero-copy out of a shared-memory segment or a
+    result shard carry their backing bytes under ``"raw"``; writing
+    them back to the cache is then a buffer copy, not a re-encode.
+    """
+    raw = payload.get("raw")
+    if raw is not None:
+        return bytes(raw)
+    return _encode_payload(payload)
 
 
 def _decode_payload(data: bytes) -> Optional[dict]:
@@ -315,7 +347,410 @@ def _cache_write(path: pathlib.Path, payload: dict) -> None:
     under the replaced name would never match the entry glob.  Stale
     temporaries are swept when the cache is opened.
     """
-    atomic_write_bytes(path, _encode_payload(payload))
+    atomic_write_bytes(path, _payload_to_bytes(payload))
+
+
+# -- zero-copy result fan-in ----------------------------------------------
+#
+# With ``fanin="shm"`` workers never pickle a result row back to the
+# parent.  Each chunk encodes its payloads into the exact v2 cache
+# bytes, packs them back-to-back into one POSIX shared-memory segment,
+# and returns only ``("shm", name, size, entries)`` — a few dozen
+# bytes per chunk.  The parent attaches the segment, **unlinks it
+# immediately** (the mapping survives; the name cannot leak past a
+# crash), and decodes each entry as a :class:`_QuadView` — a cast
+# memoryview straight into the segment, never a list of tuples.
+#
+# Segment names carry a per-run prefix (parent pid + run counter), so
+# the parent can sweep any segment a dying worker left behind: names
+# are swept from ``/dev/shm`` after pool shutdown on every exit path
+# (completion, worker failure, KeyboardInterrupt).  Creation happens
+# in workers and unlink/sweep in the parent, which is why the resource
+# tracker must be started *before* the pool forks — both sides then
+# talk to the same tracker process and every register is matched by
+# exactly one unregister (no spurious leak warnings at exit).
+#
+# When shared memory is unavailable (exotic platforms, exhausted
+# ``/dev/shm``), workers silently fall back to returning pickled
+# payload lists — ``fanin="pickle"`` forces that mode everywhere and
+# reproduces the PR 8 transport exactly.
+
+_FANIN_MODES = ("shm", "pickle")
+
+_SHM_RUN_COUNTER = itertools.count()
+
+
+def _shm_run_prefix() -> str:
+    """A per-run segment-name prefix, unique across live parents.
+
+    Short on purpose: POSIX shm names are capped at 31 characters on
+    some platforms, and workers append their own pid + sequence.
+    """
+    return f"rpfi{os.getpid():x}g{next(_SHM_RUN_COUNTER):x}"
+
+
+def _create_worker_segment(
+    size: int, prefix: str
+) -> Optional[shared_memory.SharedMemory]:
+    """Create one result segment in a worker; ``None`` to fall back.
+
+    The name embeds the worker pid plus a worker-local sequence, so
+    collisions only happen against leftovers from a recycled pid —
+    retried with the next sequence number rather than failed.
+    """
+    for _ in range(8):
+        seq = _WORKER_STATE["shm_seq"] = (
+            _WORKER_STATE.get("shm_seq", 0) + 1
+        )
+        name = f"{prefix}w{os.getpid():x}c{seq:x}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=max(size, 1)
+            )
+        except FileExistsError:
+            continue
+        except OSError:
+            return None
+    return None
+
+
+def _ship_payloads(payloads: List[dict]) -> Optional[tuple]:
+    """Pack a chunk's payloads into one segment; ``None`` to fall back.
+
+    Returns ``("shm", name, size, entries)`` where each entry is
+    ``(offset, length, shard, shard_count)`` — everything the parent
+    needs to rebuild zero-copy payload views in :func:`_receive_chunk`.
+    """
+    prefix = _WORKER_STATE.get("shm_prefix")
+    if prefix is None:
+        return None
+    blobs = [_encode_payload(payload) for payload in payloads]
+    total = sum(len(blob) for blob in blobs)
+    segment = _create_worker_segment(total, prefix)
+    if segment is None:
+        return None
+    try:
+        entries = []
+        offset = 0
+        for payload, blob in zip(payloads, blobs):
+            segment.buf[offset:offset + len(blob)] = blob
+            entries.append((
+                offset, len(blob),
+                payload.get("shard", 0), payload.get("shard_count", 1),
+            ))
+            offset += len(blob)
+        name = segment.name
+    except BaseException:
+        segment.unlink()
+        raise
+    finally:
+        segment.close()
+    return ("shm", name, total, entries)
+
+
+def _sweep_segments(prefix: str) -> int:
+    """Unlink any segment of this run still named in ``/dev/shm``.
+
+    Normal operation leaves nothing here — the parent unlinks each
+    segment the moment it attaches — so anything matching the prefix
+    after pool shutdown was abandoned by a worker that died between
+    creating its segment and returning the descriptor.  Unlinking via
+    an attach also unregisters the name with the (shared) resource
+    tracker, so the crash path stays warning-free too.
+    """
+    base = pathlib.Path("/dev/shm")
+    if not base.is_dir():
+        return 0
+    removed = 0
+    for path in base.glob(f"{prefix}*"):
+        try:
+            segment = shared_memory.SharedMemory(name=path.name)
+        except (FileNotFoundError, OSError):
+            continue
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        segment.close()
+        removed += 1
+    if removed:
+        logger.warning(
+            "swept %d abandoned fan-in segment(s) with prefix %s",
+            removed, prefix,
+        )
+    return removed
+
+
+class _QuadView:
+    """Zero-copy sequence view over a payload's flat u32 quad body.
+
+    Satisfies everything the fan-in and the cache writer need from
+    ``payload["delegations"]`` — ``len``, iteration, indexing,
+    re-encoding — while the quads stay in the shared-memory segment
+    (or result-shard map) they arrived in.  Little-endian hosts only;
+    :func:`_decode_payload_view` falls back to a copying decode
+    elsewhere.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self, view: memoryview) -> None:
+        self._words = view.cast("I")
+
+    def __len__(self) -> int:
+        return len(self._words) // 4
+
+    def __getitem__(self, index: int) -> tuple:
+        if index < 0:
+            index += len(self)
+        base = index * 4
+        words = self._words
+        return (
+            words[base], words[base + 1],
+            words[base + 2], words[base + 3],
+        )
+
+    def __iter__(self):
+        words = self._words
+        for base in range(0, len(words), 4):
+            yield (
+                words[base], words[base + 1],
+                words[base + 2], words[base + 3],
+            )
+
+    def tobytes(self) -> bytes:
+        return self._words.tobytes()
+
+
+class _ConcatQuads:
+    """One day's quads stitched from its per-/8 shard parts.
+
+    The parts are concatenated lazily, in shard order; the cut
+    invariant behind :func:`~repro.netbase.lpm.day_shard_bounds`
+    guarantees that order equals the unsharded day's sorted quad
+    sequence, so no merge pass (let alone a re-sort) ever runs.
+    """
+
+    __slots__ = ("parts", "_length")
+
+    def __init__(self, parts: List) -> None:
+        self.parts = parts
+        self._length = sum(len(part) for part in parts)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return itertools.chain.from_iterable(self.parts)
+
+
+def _decode_payload_view(view: memoryview) -> Optional[dict]:
+    """Decode a v2 payload from a buffer without copying the quads.
+
+    Identical validation to :func:`_decode_payload`, but the
+    delegations come back as a :class:`_QuadView` into ``view`` and
+    the payload keeps ``view`` under ``"raw"`` so a cache/result-shard
+    write is a plain buffer copy.  Big-endian hosts take the copying
+    decoder instead (the cast view would transpose every word).
+    """
+    if sys.byteorder != "little":
+        return _decode_payload(bytes(view))
+    if len(view) < _CACHE_HEADER.size:
+        return None
+    fields = _CACHE_HEADER.unpack_from(view)
+    magic, schema, year, month, day = fields[:5]
+    count = fields[10]
+    if magic != _CACHE_MAGIC or schema != CACHE_SCHEMA:
+        return None
+    if len(view) != _CACHE_HEADER.size + count * _QUAD_BYTES:
+        return None
+    try:
+        date = datetime.date(year, month, day)
+    except ValueError:
+        return None
+    return {
+        "date": date,
+        "delegations": _QuadView(view[_CACHE_HEADER.size:]),
+        "counters": dict(zip(_COUNTER_FIELDS, fields[5:10])),
+        "raw": view,
+    }
+
+
+class _FanInReceiver:
+    """Parent-side owner of every buffer a run's fan-in adopts.
+
+    Adopting a segment attaches and *immediately unlinks* it — the
+    mapping stays valid for this process, while the name disappears
+    from ``/dev/shm`` before anything else can go wrong, so no exit
+    path can leak a segment that reached the parent.  Views handed
+    out for payloads are tracked and released (in reverse order)
+    before their backing segments and maps are closed; stragglers —
+    e.g. a caller still holding a decoded table — merely defer the
+    memory to garbage collection, never the name.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._maps: List = []
+        self._views: List[memoryview] = []
+        self.shm_bytes = 0
+        self.pickled_bytes = 0
+
+    def adopt_segment(self, name: str, size: int) -> memoryview:
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        self._segments.append(segment)
+        self.shm_bytes += size
+        return segment.buf
+
+    def adopt_map(self, mapped) -> None:
+        self._maps.append(mapped)
+
+    def view(self, buffer, offset: int, length: int) -> memoryview:
+        view = memoryview(buffer)[offset:offset + length]
+        self._views.append(view)
+        return view
+
+    def track_view(self, view: memoryview) -> memoryview:
+        self._views.append(view)
+        return view
+
+    def close(self) -> None:
+        for view in reversed(self._views):
+            try:
+                view.release()
+            except BufferError:
+                pass  # a derived cast is still alive; freed at GC
+        self._views.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A caller still holds a view into this segment; the
+                # mapping is freed once every view dies (the name is
+                # already unlinked).  Detach the handles so the
+                # object's __del__ does not retry the close and raise
+                # the same BufferError unraisably mid-GC — the views
+                # keep the mmap alive, and its dealloc unmaps quietly.
+                segment._buf = None
+                segment._mmap = None
+        self._segments.clear()
+        for mapped in self._maps:
+            try:
+                mapped.close()
+            except (BufferError, ValueError):
+                pass
+        self._maps.clear()
+
+
+def _receive_chunk(
+    shipped: tuple, receiver: Optional["_FanInReceiver"]
+) -> List[dict]:
+    """Turn one worker chunk's return value into payload dicts.
+
+    ``("payloads", [...])`` chunks (pickle mode, or a worker that
+    could not get a segment) pass through, counted on the receiver's
+    pickled-byte tally; ``("shm", ...)`` chunks are adopted and
+    decoded zero-copy.
+    """
+    kind = shipped[0]
+    if kind == "payloads":
+        payloads = shipped[1]
+        if receiver is not None:
+            for payload in payloads:
+                receiver.pickled_bytes += (
+                    _CACHE_HEADER.size
+                    + len(payload["delegations"]) * _QUAD_BYTES
+                )
+        return payloads
+    _kind, name, size, entries = shipped
+    buf = receiver.adopt_segment(name, size)
+    payloads = []
+    for offset, length, shard, shard_count in entries:
+        view = receiver.view(buf, offset, length)
+        payload = _decode_payload_view(view)
+        if payload is None:
+            raise ReproError(
+                "zero-copy fan-in: malformed payload entry at offset "
+                f"{offset} of segment {name}"
+            )
+        payload["shard"] = shard
+        payload["shard_count"] = shard_count
+        payloads.append(payload)
+    return payloads
+
+
+def _merge_day_payloads(parts: List[dict]) -> dict:
+    """Merge one day's per-/8 shard payloads into the full day.
+
+    Counters add exactly (every pair lands in exactly one shard) and
+    the quads concatenate in shard order because every cut point
+    satisfies the running-max invariant — checked here across part
+    boundaries, so a violated invariant surfaces as an error instead
+    of silently unsorted output.
+    """
+    parts = sorted(parts, key=lambda part: part["shard"])
+    date = parts[0]["date"]
+    counters = {name: 0 for name in _COUNTER_FIELDS}
+    quad_parts = []
+    last_packed = None
+    for part in parts:
+        for name in _COUNTER_FIELDS:
+            counters[name] += part["counters"][name]
+        quads = part["delegations"]
+        if len(quads) == 0:
+            continue
+        first = quads[0]
+        if last_packed is not None and (
+            (first[0] << 6) | first[1]
+        ) <= last_packed:
+            raise ReproError(
+                f"day-shard merge for {date.isoformat()}: shard "
+                f"{part['shard']} overlaps its predecessor — the "
+                "per-/8 cut invariant was violated"
+            )
+        tail = quads[len(quads) - 1]
+        last_packed = (tail[0] << 6) | tail[1]
+        quad_parts.append(quads)
+    return {
+        "date": date,
+        "delegations": _ConcatQuads(quad_parts),
+        "counters": counters,
+    }
+
+
+def _result_shard_read(
+    store: ShardStore, key: str, receiver: "_FanInReceiver"
+) -> Optional[dict]:
+    """Probe the store's result-shard namespace for one day's payload.
+
+    A hit maps the shard read-only and decodes it zero-copy — the
+    warm path for ``--store`` sweeps skips both the kernel *and* the
+    per-day cache read.  Malformed bytes degrade to a miss (counted),
+    exactly like the input-shard namespace.
+    """
+    mapped = store.load_result(key)
+    if mapped is None:
+        return None
+    view = memoryview(mapped)
+    payload = _decode_payload_view(view)
+    if payload is None:
+        view.release()
+        mapped.close()
+        logger.warning(
+            "discarding malformed result shard %s",
+            store.result_path(key),
+        )
+        store.metrics.inc("store.malformed")
+        store.metrics.inc("store.result_misses")
+        return None
+    receiver.adopt_map(mapped)
+    receiver.track_view(view)
+    store.metrics.inc("store.result_hits")
+    return payload
 
 
 # -- per-day computation (shared by workers and the in-process path) ------
@@ -405,11 +840,34 @@ class _DaySource:
         return stream.pairs_on(date), stream.monitor_count()
 
 
+def _day_shard_table(
+    source: _DaySource, date: datetime.date, shard_count: int
+) -> Tuple[PairTable, int, List[Tuple[int, int]]]:
+    """One day's full table plus its per-/8 cut bounds, memoized.
+
+    Sub-day tasks for the same day frequently land on the same worker
+    back-to-back, and re-mapping (or worse, re-aggregating) the day
+    once per sub-task would dominate the sharded kernel work — so the
+    worker keeps exactly one day's table and bounds around.
+    """
+    memo = _WORKER_STATE.get("day_memo")
+    if memo is not None and memo[0] == (date, shard_count):
+        return memo[1], memo[2], memo[3]
+    table, total_monitors = source.table_on(date)
+    bounds = day_shard_bounds(table.keys, shard_count)
+    _WORKER_STATE["day_memo"] = (
+        (date, shard_count), table, total_monitors, bounds
+    )
+    return table, total_monitors, bounds
+
+
 def _compute_day_payload(
     source: _DaySource,
     inference: DelegationInference,
     date: datetime.date,
     metrics: MetricsRegistry = NULL,
+    shard: int = 0,
+    shard_count: int = 1,
 ) -> dict:
     """Steps (i)–(iv) for one day, as a numeric payload.
 
@@ -419,10 +877,45 @@ def _compute_day_payload(
     kernel the day never materializes per-record objects at all — the
     kernel's packed rows are reshaped straight into quads, straight
     off the shard mapping when the source is store-backed.
+
+    With ``shard_count > 1`` the call computes only the day's
+    ``shard``-th per-/8 slice (columnar kernel only): the fused filter
+    kernel runs over ``table.slice(lo, hi)`` and the quads skip the
+    sort entirely — kernel rows are key-ascending, and keys order
+    exactly like ``(network, length, ...)`` tuples.  The parent
+    reassembles the slices with :func:`_merge_day_payloads`.
     """
     scratch = InferenceResult(
         daily=DailyDelegations(), config=inference.config
     )
+    if shard_count > 1:
+        table, total_monitors, bounds = _day_shard_table(
+            source, date, shard_count
+        )
+        low, high = bounds[shard]
+        rows = inference._table_delegation_rows(
+            table.slice(low, high), total_monitors, date, scratch,
+            metrics=metrics,
+        )
+        quads = [
+            (key >> 6, key & 0x3F, delegator, delegatee)
+            for key, delegator, delegatee, _cover in rows
+        ]
+        return {
+            "date": date,
+            "delegations": quads,
+            "counters": {
+                "pairs_seen": scratch.pairs_seen,
+                "pairs_dropped_visibility":
+                    scratch.pairs_dropped_visibility,
+                "pairs_dropped_origin": scratch.pairs_dropped_origin,
+                "delegations_dropped_same_org":
+                    scratch.delegations_dropped_same_org,
+                "bogon_prefix": scratch.sanitize_stats.bogon_prefix,
+            },
+            "shard": shard,
+            "shard_count": shard_count,
+        }
     if inference.kernel == "columnar" and source.has_tables():
         table, total_monitors = source.table_on(date)
         rows = inference._table_delegation_rows(
@@ -473,6 +966,8 @@ def _init_worker(
     kernel: str = "columnar",
     store_dir: Optional[str] = None,
     input_fp: Optional[str] = None,
+    fanin: str = "pickle",
+    shm_prefix: Optional[str] = None,
 ) -> None:
     """Pool initializer: runs once per worker process.
 
@@ -499,6 +994,8 @@ def _init_worker(
     _WORKER_STATE["kernel"] = kernel
     _WORKER_STATE["store_dir"] = store_dir
     _WORKER_STATE["input_fp"] = input_fp
+    _WORKER_STATE["fanin"] = fanin
+    _WORKER_STATE["shm_prefix"] = shm_prefix
 
 
 def _worker_registry() -> MetricsRegistry:
@@ -551,12 +1048,15 @@ def _worker_source() -> _DaySource:
 
 
 def _worker_run_chunk(
-    dates: Sequence[datetime.date],
-) -> Tuple[List[dict], Optional[MetricsRegistry]]:
-    """Execute steps (i)–(iv) for one shard of days.
+    tasks: Sequence[tuple],
+) -> Tuple[tuple, Optional[MetricsRegistry]]:
+    """Execute steps (i)–(iv) for one chunk of (sub-)day tasks.
 
-    Returns the per-day payloads plus the shard's metrics registry
-    (``None`` when the run is uninstrumented).
+    Each task is ``(date, shard, shard_count)`` — whole days when
+    ``shard_count == 1``, per-/8 slices otherwise.  Returns either a
+    ``("shm", ...)`` segment descriptor or ``("payloads", [...])``,
+    plus the chunk's metrics registry (``None`` when the run is
+    uninstrumented).
     """
     source = _worker_source()
     inference = _WORKER_STATE.get("inference")
@@ -566,25 +1066,44 @@ def _worker_run_chunk(
             kernel=_WORKER_STATE.get("kernel", "columnar"),
         )
         _WORKER_STATE["inference"] = inference
-    if not _WORKER_STATE.get("instrument"):
-        return [
-            _compute_day_payload(source, inference, date)
-            for date in dates
-        ], None
-    registry = _worker_registry()
-    source.set_metrics(registry)
+    registry: Optional[MetricsRegistry] = None
+    if _WORKER_STATE.get("instrument"):
+        registry = _worker_registry()
+        source.set_metrics(registry)
+        materialized_before = PairTable.materialize_count
     payloads = []
-    for date in dates:
+    for date, shard, shard_count in tasks:
+        if registry is None:
+            payloads.append(_compute_day_payload(
+                source, inference, date,
+                shard=shard, shard_count=shard_count,
+            ))
+            continue
         # A span (not a bare observe) so the same per-day timing also
         # lands on the trace timeline and in the profile gauges; the
         # worker's span stack is empty, so the timer keeps its
-        # historical name.
-        with registry.span("runner.compute.day"):
+        # historical name.  Sub-day slices time under their own name,
+        # so traces show per-/8 lanes distinctly from whole days.
+        span_name = (
+            "runner.compute.dayshard" if shard_count > 1
+            else "runner.compute.day"
+        )
+        with registry.span(span_name):
             payloads.append(_compute_day_payload(
-                source, inference, date, registry
+                source, inference, date, registry,
+                shard=shard, shard_count=shard_count,
             ))
-    registry.inc("runner.chunks")
-    return payloads, registry
+    if registry is not None:
+        registry.inc("runner.chunks")
+        registry.inc(
+            "pairtable.materialized",
+            PairTable.materialize_count - materialized_before,
+        )
+    if _WORKER_STATE.get("fanin") == "shm":
+        shipped = _ship_payloads(payloads)
+        if shipped is not None:
+            return shipped, registry
+    return ("payloads", payloads), registry
 
 
 def _worker_diff_chunk(
@@ -598,10 +1117,11 @@ def _worker_diff_chunk(
     the anchor equals the previous chunk's last table exactly; with a
     warm shard store the rebuild is a zero-copy map) and returns small
     ``("delta", date, PairDelta)`` items; the first chunk of a cold
-    sweep returns the full ``("seed", ...)`` table, *materialized* —
-    store-backed tables are views into this worker's private mapping
-    and must never be pickled back to the parent.  The parent applies
-    the items in order through one
+    sweep hands the full seed table back via :func:`_seed_item` —
+    by store reference or shared-memory segment when possible, only
+    *materializing* (store-backed tables are views into this worker's
+    private mapping and must never be pickled) as a last resort.  The
+    parent applies the items in order through one
     :class:`~repro.delegation.delta.DeltaState`.
     """
     source = _worker_source()
@@ -609,13 +1129,14 @@ def _worker_diff_chunk(
     if _WORKER_STATE.get("instrument"):
         registry = _worker_registry()
         source.set_metrics(registry)
+        materialized_before = PairTable.materialize_count
     span = registry.span if registry is not None else None
     items: List[tuple] = []
     if prev_date is None:
         prev_table, total_monitors = source.table_on(dates[0])
-        items.append((
-            "seed", dates[0], prev_table.materialize(), total_monitors
-        ))
+        items.append(
+            _seed_item(source, dates[0], prev_table, total_monitors)
+        )
         rest = dates[1:]
     else:
         prev_table, total_monitors = source.table_on(prev_date)
@@ -632,7 +1153,49 @@ def _worker_diff_chunk(
         prev_table = table
     if registry is not None:
         registry.inc("runner.chunks")
+        registry.inc(
+            "pairtable.materialized",
+            PairTable.materialize_count - materialized_before,
+        )
     return items, registry
+
+
+def _seed_item(
+    source: _DaySource,
+    date: datetime.date,
+    table: PairTable,
+    total_monitors: int,
+) -> tuple:
+    """How a delta seed table travels back to the parent, cheapest first.
+
+    With a store attached the table already lives there (a miss in
+    :meth:`_DaySource.table_on` writes through), so the worker ships a
+    date-sized reference and the parent re-maps the shard.  Otherwise
+    the zero-copy transport serializes the table into a shared-memory
+    segment in the RPSHARD3 layout; only when both are unavailable
+    does the seed fall back to the PR 8 behaviour — a materialized,
+    pickled table (visible as ``pairtable.materialized`` ticking up).
+    """
+    if source.store is not None:
+        return ("seed_ref", date, total_monitors)
+    if _WORKER_STATE.get("fanin") == "shm":
+        prefix = _WORKER_STATE.get("shm_prefix")
+        if prefix is not None:
+            blob = encode_shard_bytes(date, table, total_monitors)
+            segment = _create_worker_segment(len(blob), prefix)
+            if segment is not None:
+                try:
+                    segment.buf[:len(blob)] = blob
+                    name = segment.name
+                except BaseException:
+                    segment.unlink()
+                    raise
+                finally:
+                    segment.close()
+                return (
+                    "seed_shm", date, name, len(blob), total_monitors
+                )
+    return ("seed", date, table.materialize(), total_monitors)
 
 
 # -- parent side ----------------------------------------------------------
@@ -640,6 +1203,44 @@ def _worker_diff_chunk(
 
 def _chunk(items: Sequence, size: int) -> List[List]:
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _resolve_seed_item(
+    item: tuple,
+    store: Optional[ShardStore],
+    receiver: Optional[_FanInReceiver],
+) -> tuple:
+    """Rehydrate a worker's seed hand-back into a plain seed item.
+
+    ``seed_ref`` re-maps the day straight from the shard store;
+    ``seed_shm`` adopts the worker's segment (unlinked on attach, like
+    every fan-in segment) and rebuilds a buffer-backed table over it.
+    Plain items pass through untouched.
+    """
+    kind = item[0]
+    if kind == "seed_ref":
+        _kind, date, total_monitors = item
+        loaded = store.load(date) if store is not None else None
+        if loaded is None:
+            raise ReproError(
+                "delta seed hand-back: the seed shard for "
+                f"{date.isoformat()} vanished from the store"
+            )
+        table, total_monitors = loaded
+        return ("seed", date, table, total_monitors)
+    if kind == "seed_shm":
+        _kind, date, name, size, _total_monitors = item
+        buf = receiver.adopt_segment(name, size)
+        view = receiver.view(buf, 0, size)
+        decoded = decode_shard_buffer(view, expected_date=date)
+        if decoded is None:
+            raise ReproError(
+                "delta seed hand-back: malformed shared-memory seed "
+                f"segment for {date.isoformat()}"
+            )
+        table, total_monitors = decoded
+        return ("seed", date, table, total_monitors)
+    return item
 
 
 def _diff_parallel(
@@ -650,8 +1251,9 @@ def _diff_parallel(
     prev_date: Optional[datetime.date],
     jobs: int,
     metrics: MetricsRegistry = NULL,
-    store_dir: Optional[str] = None,
-    input_fp: Optional[str] = None,
+    store: Optional[ShardStore] = None,
+    fanin: str = "pickle",
+    receiver: Optional[_FanInReceiver] = None,
 ) -> List[tuple]:
     """Fan day-over-day diffing out over a process pool.
 
@@ -659,7 +1261,9 @@ def _diff_parallel(
     *c − 1* (or ``prev_date`` / a fresh seed for the first), so every
     delta item still describes consecutive sweep days.  The items come
     back small — applying them stays sequential in the parent, where
-    the single :class:`~repro.delegation.delta.DeltaState` lives.
+    the single :class:`~repro.delegation.delta.DeltaState` lives.  The
+    only potentially large item, the first chunk's seed table, takes
+    the zero-copy route when ``fanin="shm"`` (see :func:`_seed_item`).
     """
     workers = min(jobs, len(dates))
     chunk_size = max(1, -(-len(dates) // (workers * _CHUNKS_PER_WORKER)))
@@ -667,6 +1271,14 @@ def _diff_parallel(
     anchors: List[Optional[datetime.date]] = [prev_date] + [
         chunk[-1] for chunk in chunks[:-1]
     ]
+    use_shm = fanin == "shm" and receiver is not None
+    prefix = _shm_run_prefix() if use_shm else None
+    if prefix is not None:
+        # One tracker, owned by this process and inherited by every
+        # worker: worker-side segment registrations and parent-side
+        # unlinks must reach the same tracker, or each side's exit
+        # prints spurious leak warnings.
+        resource_tracker.ensure_running()
     items: List[tuple] = []
     executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
@@ -676,7 +1288,10 @@ def _diff_parallel(
             getattr(metrics, "trace", None) is not None,
             metrics.memory_profiling,
             "columnar",
-            store_dir, input_fp,
+            str(store.directory) if store is not None else None,
+            store.input_fingerprint if store is not None else None,
+            "shm" if use_shm else "pickle",
+            prefix,
         ),
     )
     try:
@@ -694,12 +1309,17 @@ def _diff_parallel(
                     "delegation-delta worker failed: "
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
-            items.extend(chunk_items)
+            for item in chunk_items:
+                items.append(_resolve_seed_item(item, store, receiver))
             if worker_registry is not None:
                 metrics.merge(worker_registry)
                 metrics.inc("runner.worker_registries_merged")
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
+        if prefix is not None:
+            swept = _sweep_segments(prefix)
+            if swept:
+                metrics.inc("fanin.segments_swept", swept)
     return items
 
 
@@ -713,6 +1333,8 @@ def _run_incremental(
     journal_dir: Optional[Union[str, pathlib.Path]],
     metrics: MetricsRegistry,
     store: Optional[ShardStore] = None,
+    fanin: str = "pickle",
+    receiver: Optional[_FanInReceiver] = None,
 ) -> Tuple[Dict[datetime.date, dict], dict]:
     """The incremental sweep: journal replay, then delta compute.
 
@@ -818,14 +1440,7 @@ def _run_incremental(
                 items = _diff_parallel(
                     stream_factory, config, as2org, remaining,
                     prev_date, jobs, metrics,
-                    store_dir=(
-                        str(store.directory) if store is not None
-                        else None
-                    ),
-                    input_fp=(
-                        store.input_fingerprint if store is not None
-                        else None
-                    ),
+                    store=store, fanin=fanin, receiver=receiver,
                 )
             else:
                 items = None
@@ -912,6 +1527,8 @@ def run_inference(
     incremental: bool = False,
     journal_dir: Optional[Union[str, pathlib.Path]] = None,
     store_dir: Optional[Union[str, pathlib.Path]] = None,
+    fanin: str = "shm",
+    day_shards: int = 1,
 ) -> InferenceResult:
     """Run the full pipeline over ``[start, end)``, in parallel.
 
@@ -961,6 +1578,27 @@ def run_inference(
     in-RAM paths.  The two compose: a store feeds computes, the cache
     skips them.
 
+    ``fanin`` picks the worker→parent result transport.  The default
+    ``"shm"`` serializes each chunk's payloads into one shared-memory
+    segment in the exact v2 cache layout and ships a tiny descriptor;
+    the parent decodes zero-copy views and never unpickles a result
+    row.  With a store attached (and not incremental), ``"shm"`` also
+    write-through-caches every computed day into the store's
+    result-shard namespace, so warm sweeps map results directly.
+    ``"pickle"`` forces the original pickled transport (and disables
+    result shards) — the byte-identical baseline the fan-in benchmark
+    compares against.  Segments are unlinked the moment the parent
+    attaches them and swept by prefix after every pool shutdown, so
+    no exit path (completion, worker crash, interrupt) leaks one.
+
+    ``day_shards`` splits every computed day into that many per-/8
+    sub-tasks (columnar kernel only): each runs the fused filter
+    kernel over one top-octet slice of the day's key array, and the
+    parent stitches the slices back with a deterministic k-way
+    concatenation whose order the sorted-array invariant fixes — so
+    one internet-scale day saturates the pool instead of one worker.
+    Output stays byte-identical for any shard count.
+
     Returns an :class:`InferenceResult` byte-identical (in its
     ``daily`` delegations) to the sequential
     :meth:`DelegationInference.infer_range`, with ``runner_stats``
@@ -981,6 +1619,23 @@ def run_inference(
 
     if journal_dir is not None and not incremental:
         raise ReproError("journal_dir requires incremental=True")
+    if fanin not in _FANIN_MODES:
+        raise ReproError(
+            f"unknown fan-in mode {fanin!r} "
+            f"(choose from {', '.join(_FANIN_MODES)})"
+        )
+    if day_shards < 1:
+        raise ReproError("day_shards must be at least 1")
+    if day_shards > 1 and kernel != "columnar":
+        raise ReproError(
+            "day_shards > 1 requires the columnar kernel: per-/8 cut "
+            "points are defined on the packed key array"
+        )
+    if day_shards > 1 and incremental:
+        raise ReproError(
+            "day_shards cannot combine with incremental=True "
+            "(the delta path diffs whole days)"
+        )
 
     dates = list(date_range(start, end, step_days))
     resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -1017,8 +1672,22 @@ def run_inference(
             )
         store = ShardStore(store_dir, fingerprint(), metrics=metrics)
 
+    # The result-shard warm path needs the cache key even when no
+    # cache_dir is configured; the store's fingerprint is the same
+    # input fingerprint the cache would have computed.
+    use_result_shards = (
+        store is not None and fanin == "shm" and not incremental
+    )
+    if use_result_shards and input_fp is None:
+        input_fp = store.input_fingerprint
+        if config.same_org_filter:
+            assert as2org is not None
+            as2org_fp = as2org.fingerprint()
+
     metrics.inc("runner.days_total", len(dates))
     metrics.set_gauge("runner.jobs", resolved_jobs)
+    materialized_before = PairTable.materialize_count
+    receiver = _FanInReceiver()
 
     # Phases 1–2, incremental flavour: journal replay + delta compute.
     payload_by_date: Dict[datetime.date, dict] = {}
@@ -1029,15 +1698,20 @@ def run_inference(
             payload_by_date, inc_info = _run_incremental(
                 stream_factory, config, as2org, dates, step_days,
                 resolved_jobs, journal_dir, metrics, store,
+                fanin=fanin, receiver=receiver,
             )
-    # Phase 1: resolve cache hits.
-    elif cache_base is not None:
+    # Phase 1: resolve result-shard and cache hits.
+    elif cache_base is not None or use_result_shards:
         with metrics.span("runner.cache_probe"):
             for date in dates:
                 key = _cache_key(config, date, input_fp, as2org_fp)
-                payload = _cache_read(
-                    _cache_path(cache_base, key), metrics
-                )
+                payload = None
+                if use_result_shards:
+                    payload = _result_shard_read(store, key, receiver)
+                if payload is None and cache_base is not None:
+                    payload = _cache_read(
+                        _cache_path(cache_base, key), metrics
+                    )
                 if payload is None:
                     missing.append(date)
                 else:
@@ -1053,16 +1727,20 @@ def run_inference(
         computed: List[dict] = []
         with metrics.span("runner.compute"):
             if missing:
-                if resolved_jobs > 1 and len(missing) > 1:
+                if resolved_jobs > 1 and (
+                    len(missing) > 1 or day_shards > 1
+                ):
                     computed = _compute_parallel(
                         stream_factory, config, as2org, missing,
                         resolved_jobs, metrics, kernel, store,
+                        fanin=fanin, day_shards=day_shards,
+                        receiver=receiver,
                     )
                 else:
-                    # Single-job (or single-day) runs stay entirely in
-                    # this process: forking a pool to feed one worker
-                    # can only add spawn and pickling overhead on top
-                    # of the same sequential work.
+                    # Single-job (or single-day, unsharded) runs stay
+                    # entirely in this process: forking a pool to feed
+                    # one worker can only add spawn and pickling
+                    # overhead on top of the same sequential work.
                     source = _DaySource(stream_factory, store, metrics)
                     inference = DelegationInference(
                         config, as2org, kernel=kernel
@@ -1076,9 +1754,17 @@ def run_inference(
             for payload in computed:
                 date = payload["date"]
                 payload_by_date[date] = payload
-                if cache_base is not None:
+                if cache_base is not None or use_result_shards:
                     key = _cache_key(config, date, input_fp, as2org_fp)
-                    _cache_write(_cache_path(cache_base, key), payload)
+                    # One encode serves both sinks; zero-copy payloads
+                    # are a buffer copy here, never a quad walk.
+                    data = _payload_to_bytes(payload)
+                    if cache_base is not None:
+                        atomic_write_bytes(
+                            _cache_path(cache_base, key), data
+                        )
+                    if use_result_shards:
+                        store.write_result(key, data)
 
     # Phase 3: fan-in, in date order, then extension (v) exactly once.
     # Consecutive days share almost all delegations, so prefixes are
@@ -1119,6 +1805,21 @@ def run_inference(
             result.daily.record(
                 date, (_decode(quad) for quad in payload["delegations"])
             )
+    # Every quad is decoded into interned objects by now — release the
+    # fan-in buffers (segments were unlinked at adoption; this frees
+    # the memory) and surface the transport split.  A run that should
+    # be zero-copy but shows ``fanin.pickled_kb`` (or a climbing
+    # ``pairtable.materialized``) regressed to the copying transport —
+    # exactly what ``repro history diff`` is meant to catch.
+    metrics.set_gauge("fanin.shm_kb", receiver.shm_bytes // 1024)
+    metrics.set_gauge(
+        "fanin.pickled_kb", receiver.pickled_bytes // 1024
+    )
+    metrics.inc(
+        "pairtable.materialized",
+        PairTable.materialize_count - materialized_before,
+    )
+    receiver.close()
     # The serving layer re-runs rule (v) over the extended window on
     # every live apply, so it needs the pre-fill per-day record.
     base_daily = result.daily.copy() if incremental else None
@@ -1181,21 +1882,40 @@ def _compute_parallel(
     metrics: MetricsRegistry = NULL,
     kernel: str = "columnar",
     store: Optional[ShardStore] = None,
+    fanin: str = "pickle",
+    day_shards: int = 1,
+    receiver: Optional[_FanInReceiver] = None,
 ) -> List[dict]:
-    """Fan the missing days out over a process pool.
+    """Fan the missing (sub-)day tasks out over a process pool.
 
-    With an enabled ``metrics`` registry, every worker chunk returns
-    its own registry alongside its payloads; they are merged here, so
+    With ``day_shards > 1`` every day becomes that many per-/8 tasks,
+    spread over the chunks like days are; a day's parts may come back
+    from different workers in any order and are reassembled with
+    :func:`_merge_day_payloads` as soon as the last one lands.  With
+    an enabled ``metrics`` registry, every worker chunk returns its
+    own registry alongside its results; they are merged here, so
     per-day timings and stream counters survive the fan-in.  A store
     is forwarded as ``(directory, fingerprint)`` strings — workers map
     shards themselves instead of the parent pickling inputs to them.
     """
-    workers = min(jobs, len(missing))
+    tasks = [
+        (date, shard, day_shards)
+        for date in missing
+        for shard in range(day_shards)
+    ]
+    workers = min(jobs, len(tasks))
     chunk_size = max(
-        1, -(-len(missing) // (workers * _CHUNKS_PER_WORKER))
+        1, -(-len(tasks) // (workers * _CHUNKS_PER_WORKER))
     )
-    chunks = _chunk(missing, chunk_size)
+    chunks = _chunk(tasks, chunk_size)
+    use_shm = fanin == "shm" and receiver is not None
+    prefix = _shm_run_prefix() if use_shm else None
+    if prefix is not None:
+        # See _diff_parallel: the tracker must pre-date the fork so
+        # worker registers and parent unlinks meet in one process.
+        resource_tracker.ensure_running()
     payloads: List[dict] = []
+    pending: Dict[datetime.date, List[dict]] = {}
     executor = concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
@@ -1209,6 +1929,8 @@ def _compute_parallel(
             kernel,
             str(store.directory) if store is not None else None,
             store.input_fingerprint if store is not None else None,
+            "shm" if use_shm else "pickle",
+            prefix,
         ),
     )
     try:
@@ -1217,7 +1939,7 @@ def _compute_parallel(
         ]
         for future in futures:
             try:
-                chunk_payloads, worker_registry = future.result()
+                shipped, worker_registry = future.result()
             except ReproError:
                 raise
             except Exception as exc:
@@ -1225,10 +1947,29 @@ def _compute_parallel(
                     "delegation-inference worker failed: "
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
-            payloads.extend(chunk_payloads)
+            for payload in _receive_chunk(shipped, receiver):
+                if payload.get("shard_count", 1) > 1:
+                    parts = pending.setdefault(payload["date"], [])
+                    parts.append(payload)
+                    if len(parts) == payload["shard_count"]:
+                        payloads.append(_merge_day_payloads(parts))
+                        del pending[payload["date"]]
+                else:
+                    payloads.append(payload)
             if worker_registry is not None:
                 metrics.merge(worker_registry)
                 metrics.inc("runner.worker_registries_merged")
+        if pending:
+            stuck = sorted(pending)[0]
+            raise ReproError(
+                "day-shard fan-in incomplete: "
+                f"{stuck.isoformat()} received "
+                f"{len(pending[stuck])} of {day_shards} parts"
+            )
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
+        if prefix is not None:
+            swept = _sweep_segments(prefix)
+            if swept:
+                metrics.inc("fanin.segments_swept", swept)
     return payloads

@@ -119,6 +119,61 @@ def nearest_strict_covers(keys: "array") -> List[int]:
     return out
 
 
+def day_shard_bounds(
+    keys: "array", shards: int
+) -> List[Tuple[int, int]]:
+    """Cut one sorted key array into cover-safe contiguous ranges.
+
+    Returns exactly ``shards`` half-open ``(low, high)`` index ranges
+    that partition ``[0, len(keys))`` (trailing ranges may be empty).
+    A cut before index *i* is **safe** iff no earlier prefix covers
+    ``keys[i]`` — equivalently, the running maximum broadcast address
+    over ``keys[:i]`` lies below ``keys[i]``'s network.  At a safe cut
+    the :func:`nearest_strict_covers` nesting stack is provably empty,
+    so running the cover pass on each range independently and
+    concatenating the answers (with per-range indices offset by
+    ``low``) is *identical* to one pass over the whole array — the
+    invariant behind per-/8 intra-day sharding: on real routing
+    tables, where no announced prefix is shorter than a /8, every
+    top-octet transition is such a cut, so the chosen cuts land on /8
+    block boundaries.
+
+    Cuts are placed at the first safe index at or after each
+    equal-count target, one O(n) pass total.  ``keys`` must be sorted
+    ascending and duplicate-free (:func:`pack` order).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1 (got {shards})")
+    n = len(keys)
+    bounds: List[Tuple[int, int]] = []
+    if shards > 1 and n > 0:
+        targets = [n * s // shards for s in range(1, shards)]
+        host_bits = _HOST_BITS
+        low = 0
+        max_end = -1
+        t = 0
+        for i, key in enumerate(keys):
+            if (
+                t < len(targets)
+                and i >= targets[t]
+                and i > low
+                and max_end < (key >> 6)
+            ):
+                bounds.append((low, i))
+                low = i
+                while t < len(targets) and targets[t] <= i:
+                    t += 1
+            end = (key >> 6) | host_bits[key & 0x3F]
+            if end > max_end:
+                max_end = end
+        bounds.append((low, n))
+    else:
+        bounds.append((0, n))
+    while len(bounds) < shards:
+        bounds.append((n, n))
+    return bounds
+
+
 def diff_sorted_keys(
     old_keys: "array", new_keys: "array"
 ) -> Tuple[List[int], List[int], List[Tuple[int, int]]]:
@@ -233,13 +288,15 @@ class SortedPrefixMap:
 
         A stored /l covers the query iff the query's network masked to
         l bits is stored at length l — one exact bisect per distinct
-        stored length ≤ the query length.
+        stored length ≤ the query length.  The candidate lengths come
+        straight from a ``bisect_right`` over the precomputed sorted
+        ``_lengths`` array instead of a compare-and-break scan, so
+        queries never even visit the longer stored lengths.
         """
         network = prefix.network
         length = prefix.length
-        for candidate in self._lengths:
-            if candidate > length:
-                break
+        lengths = self._lengths
+        for candidate in lengths[:bisect_right(lengths, length)]:
             masked = network & ~_HOST_BITS[candidate]
             index = self._find((masked << 6) | candidate)
             if index >= 0:
@@ -248,12 +305,17 @@ class SortedPrefixMap:
     def longest_match(
         self, prefix: IPv4Prefix
     ) -> Optional[Tuple[IPv4Prefix, V]]:
-        """The most-specific stored entry covering ``prefix``."""
+        """The most-specific stored entry covering ``prefix``.
+
+        Like :meth:`covering`, the probe set is bounded by one
+        ``bisect_right`` over the sorted distinct-length array — a
+        map dense in long prefixes no longer pays a skip-comparison
+        per stored length on every short-prefix lookup.
+        """
         network = prefix.network
         length = prefix.length
-        for candidate in reversed(self._lengths):
-            if candidate > length:
-                continue
+        lengths = self._lengths
+        for candidate in reversed(lengths[:bisect_right(lengths, length)]):
             masked = network & ~_HOST_BITS[candidate]
             index = self._find((masked << 6) | candidate)
             if index >= 0:

@@ -297,6 +297,7 @@ class QueryEngine:
         incremental: bool = False,
         journal_dir: Optional[str] = None,
         store_dir: Optional[str] = None,
+        day_shards: int = 1,
         rate_limit_per_second: float = 50.0,
         burst: int = 100,
         max_clients: int = 4096,
@@ -343,6 +344,7 @@ class QueryEngine:
                     incremental=incremental,
                     journal_dir=journal_dir,
                     store_dir=store_dir,
+                    day_shards=day_shards,
                 )
             delegations = DelegationIndex(result.daily)
             delta = result.delta_handle

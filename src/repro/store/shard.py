@@ -75,6 +75,57 @@ assert _SHARD_HEADER.size == 32  # keeps every column start 8-byte aligned
 STALE_TMP_SECONDS = 3600.0
 
 
+def encode_shard_bytes(
+    date: datetime.date, table: PairTable, total_monitors: int
+) -> bytes:
+    """One day's table in the RPSHARD3 on-disk/on-segment layout.
+
+    The same bytes :meth:`ShardStore.write` persists — also what the
+    runner's shared-memory seed hand-back puts in a segment, so the
+    parent adopts it with :func:`decode_shard_buffer` /
+    :meth:`PairTable.from_buffer` exactly as it would a mapped file.
+    """
+    header = _SHARD_HEADER.pack(
+        _SHARD_MAGIC, SHARD_SCHEMA,
+        date.year, date.month, date.day,
+        total_monitors, len(table),
+    )
+    return header + table.to_bytes()
+
+
+def decode_shard_buffer(
+    buffer,
+    *,
+    expected_date: Optional[datetime.date] = None,
+) -> Optional[Tuple[PairTable, int]]:
+    """Adopt an RPSHARD3 buffer; ``(table, total_monitors)`` or ``None``.
+
+    ``buffer`` is any byte buffer holding what :func:`encode_shard_bytes`
+    produced — a read-only mmap over a shard file or a shared-memory
+    segment's view.  The returned table is zero-copy (buffer-backed)
+    on little-endian hosts; anything torn, foreign, or (when
+    ``expected_date`` is given) misdated decodes to ``None``.
+    """
+    size = len(memoryview(buffer))
+    if size < _SHARD_HEADER.size:
+        return None
+    magic, schema, year, month, day, total_monitors, count = (
+        _SHARD_HEADER.unpack_from(buffer)
+    )
+    if magic != _SHARD_MAGIC or schema != SHARD_SCHEMA:
+        return None
+    if expected_date is not None and (year, month, day) != (
+        expected_date.year, expected_date.month, expected_date.day
+    ):
+        return None
+    if size != _SHARD_HEADER.size + count * ROW_BYTES:
+        return None
+    table = PairTable.from_buffer(
+        buffer, count, offset=_SHARD_HEADER.size
+    )
+    return table, total_monitors
+
+
 def atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
     """Write ``data`` to ``path`` atomically.
 
@@ -225,27 +276,13 @@ class ShardStore:
         date: datetime.date,
         path: pathlib.Path,
     ) -> Optional[Tuple[PairTable, int]]:
-        if len(mapped) < _SHARD_HEADER.size:
-            logger.warning("discarding truncated shard %s", path)
-            return None
-        magic, schema, year, month, day, total_monitors, count = (
-            _SHARD_HEADER.unpack_from(mapped)
-        )
-        if magic != _SHARD_MAGIC or schema != SHARD_SCHEMA:
-            logger.warning("discarding foreign shard %s", path)
-            return None
-        if (year, month, day) != (date.year, date.month, date.day):
-            # The content address embeds the date, so a mismatch means
-            # the file was renamed or the store mixed up.
-            logger.warning("discarding misdated shard %s", path)
-            return None
-        if len(mapped) != _SHARD_HEADER.size + count * ROW_BYTES:
-            logger.warning("discarding torn shard %s", path)
-            return None
-        table = PairTable.from_buffer(
-            mapped, count, offset=_SHARD_HEADER.size
-        )
-        return table, total_monitors
+        # The content address embeds the date, so a date mismatch means
+        # the file was renamed or the store mixed up — rejected like
+        # torn or foreign bytes.
+        loaded = decode_shard_buffer(mapped, expected_date=date)
+        if loaded is None:
+            logger.warning("discarding invalid shard %s", path)
+        return loaded
 
     # -- write ---------------------------------------------------------
 
@@ -256,12 +293,67 @@ class ShardStore:
         total_monitors: int,
     ) -> pathlib.Path:
         """Persist one day's table atomically; returns the path."""
-        header = _SHARD_HEADER.pack(
-            _SHARD_MAGIC, SHARD_SCHEMA,
-            date.year, date.month, date.day,
-            total_monitors, len(table),
-        )
         path = self.path(date)
-        atomic_write_bytes(path, header + table.to_bytes())
+        atomic_write_bytes(
+            path, encode_shard_bytes(date, table, total_monitors)
+        )
         self.metrics.inc("store.writes")
+        return path
+
+    # -- result shards -------------------------------------------------
+    #
+    # A second namespace under the same directory: *post-filter* per-day
+    # results in the runner's v2 cache payload layout (RPD2 quads), used
+    # by the zero-copy fan-in as a write-through result cache.  Unlike
+    # the input shards above — keyed on the input only — result shards
+    # are keyed on the runner's config-hash digest (the same
+    # ``_cache_key`` the v2 cache uses), because filter output depends
+    # on the inference configuration.  The store treats the payload as
+    # opaque bytes; the runner owns the codec and its validation.
+
+    def result_path(self, key: str) -> pathlib.Path:
+        """Where the result shard for one config-hash key lives."""
+        return self.directory / "results" / key[:2] / f"{key}.rpd"
+
+    def load_result(self, key: str) -> Optional[mmap.mmap]:
+        """Map one result shard read-only; raw bytes or ``None``.
+
+        Missing entries count as ``store.result_misses``; the caller
+        decodes (and on malformed bytes bumps ``store.malformed`` +
+        ``store.result_misses`` itself, then closes the map).
+        """
+        path = self.result_path(key)
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            self.metrics.inc("store.result_misses")
+            return None
+        except OSError:
+            logger.warning("discarding unreadable result shard %s", path)
+            self.metrics.inc("store.malformed")
+            self.metrics.inc("store.result_misses")
+            return None
+        with handle:
+            try:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError):
+                logger.warning(
+                    "discarding unmappable result shard %s", path
+                )
+                self.metrics.inc("store.malformed")
+                self.metrics.inc("store.result_misses")
+                return None
+        self._mapped_bytes += len(mapped)
+        self.metrics.set_gauge(
+            "store.mapped_kb", self._mapped_bytes // 1024
+        )
+        return mapped
+
+    def write_result(self, key: str, data: bytes) -> pathlib.Path:
+        """Persist one result payload atomically; returns the path."""
+        path = self.result_path(key)
+        atomic_write_bytes(path, data)
+        self.metrics.inc("store.result_writes")
         return path

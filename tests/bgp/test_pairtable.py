@@ -196,3 +196,115 @@ class TestStreamPairTable:
             for prefix, (origins, count) in reference.items()
         )
         assert _table_rows(table) == expected
+
+
+def _sample_table():
+    return PairTable.from_aggregate({
+        pack(p("10.0.0.0/8").network, 8): (65001, True, 3),
+        pack(p("10.1.0.0/16").network, 16): (65002, True, 2),
+        pack(p("172.16.0.0/12").network, 12): (0, False, 4),
+        pack(p("192.0.2.0/24").network, 24): (65003, True, 1),
+    })
+
+
+class TestFromBuffer:
+    """The zero-copy construction path and its edges."""
+
+    def test_round_trips_through_bytes(self):
+        table = _sample_table()
+        rebuilt = PairTable.from_buffer(table.to_bytes(), len(table))
+        assert _table_rows(rebuilt) == _table_rows(table)
+        assert rebuilt.is_buffer_backed
+
+    def test_zero_pair_table(self):
+        empty = PairTable.from_buffer(b"", 0)
+        assert len(empty) == 0
+        assert not empty
+        assert _table_rows(empty) == []
+        # And an empty table round-trips through the codec.
+        assert empty.to_bytes() == b""
+
+    def test_truncated_buffer_rejected(self):
+        table = _sample_table()
+        data = table.to_bytes()
+        with pytest.raises(ValueError, match="need"):
+            PairTable.from_buffer(data[:-1], len(table))
+        with pytest.raises(ValueError, match="need"):
+            PairTable.from_buffer(data, len(table) + 1)
+
+    def test_readonly_view_over_shared_memory(self):
+        # The fan-in path: a worker serializes into a segment, the
+        # parent adopts a read-only view of it.
+        from multiprocessing import shared_memory
+
+        table = _sample_table()
+        data = table.to_bytes()
+        segment = shared_memory.SharedMemory(create=True, size=len(data))
+        try:
+            segment.buf[:len(data)] = data
+            view = memoryview(segment.buf)[:len(data)].toreadonly()
+            adopted = PairTable.from_buffer(view, len(table))
+            assert _table_rows(adopted) == _table_rows(table)
+            assert adopted.is_buffer_backed
+            # Read-only views refuse mutation rather than corrupting
+            # the shared segment.
+            with pytest.raises(TypeError):
+                adopted.keys[0] = 0
+            copy = adopted.materialize()
+            assert not copy.is_buffer_backed
+            assert _table_rows(copy) == _table_rows(table)
+            del adopted, copy
+            view.release()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestSliceConcat:
+    """slice()/concat() are exact inverses at cover-safe cut points."""
+
+    def test_slice_concat_round_trip(self):
+        table = _sample_table()
+        parts = [table.slice(0, 2), table.slice(2, 3), table.slice(3, 4)]
+        rebuilt = PairTable.concat(parts)
+        assert _table_rows(rebuilt) == _table_rows(table)
+        assert not rebuilt.is_buffer_backed
+
+    def test_slice_preserves_backing_kind(self):
+        table = _sample_table()
+        assert not table.slice(1, 3).is_buffer_backed
+        mapped = PairTable.from_buffer(table.to_bytes(), len(table))
+        sub = mapped.slice(1, 3)
+        assert sub.is_buffer_backed
+        assert list(sub.keys) == list(table.keys[1:3])
+
+    def test_concat_skips_empty_parts(self):
+        table = _sample_table()
+        rebuilt = PairTable.concat([
+            table.slice(0, 0), table.slice(0, 4), table.slice(4, 4),
+        ])
+        assert _table_rows(rebuilt) == _table_rows(table)
+
+    def test_concat_mixed_backing(self):
+        table = _sample_table()
+        mapped = PairTable.from_buffer(table.to_bytes(), len(table))
+        rebuilt = PairTable.concat([mapped.slice(0, 2), table.slice(2, 4)])
+        assert _table_rows(rebuilt) == _table_rows(table)
+
+    def test_concat_rejects_overlapping_ranges(self):
+        table = _sample_table()
+        with pytest.raises(ValueError, match="ascending"):
+            PairTable.concat([table.slice(0, 3), table.slice(2, 4)])
+        with pytest.raises(ValueError, match="ascending"):
+            PairTable.concat([table.slice(2, 4), table.slice(0, 2)])
+
+
+class TestMaterializeCounter:
+    def test_counts_only_buffer_backed_copies(self):
+        table = _sample_table()
+        before = PairTable.materialize_count
+        assert table.materialize() is table
+        assert PairTable.materialize_count == before
+        mapped = PairTable.from_buffer(table.to_bytes(), len(table))
+        mapped.materialize()
+        assert PairTable.materialize_count == before + 1

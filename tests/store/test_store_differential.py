@@ -102,11 +102,18 @@ class TestStoreBackedEquivalence:
     def test_warm_store_matches_and_hits_every_day(
         self, factory, as2org, baselines, tmp_path, kernel, jobs
     ):
-        _run(factory, as2org, jobs=1, store_dir=tmp_path / "store")
+        # fanin="pickle" disables the result-shard warm path, so this
+        # run must re-map every *input* shard (the path under test);
+        # the result-shard short-circuit has its own test below.
+        _run(
+            factory, as2org, jobs=1, store_dir=tmp_path / "store",
+            fanin="pickle",
+        )
         metrics = MetricsRegistry()
         result = _run(
             factory, as2org, kernel=kernel, jobs=jobs,
             store_dir=tmp_path / "store", metrics=metrics,
+            fanin="pickle",
         )
         assert _result_bytes(result, tmp_path / "out.jsonl") == \
             baselines[kernel][0]
@@ -114,6 +121,27 @@ class TestStoreBackedEquivalence:
         assert counters.get("store.hits") == DAYS
         assert counters.get("store.misses") is None
         assert counters.get("store.writes") is None
+
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["seq", "pool"])
+    def test_warm_result_shards_skip_the_kernel(
+        self, factory, as2org, baselines, tmp_path, jobs
+    ):
+        _run(factory, as2org, jobs=1, store_dir=tmp_path / "store")
+        assert (tmp_path / "store" / "results").is_dir()
+        metrics = MetricsRegistry()
+        result = _run(
+            factory, as2org, jobs=jobs,
+            store_dir=tmp_path / "store", metrics=metrics,
+        )
+        assert _result_bytes(result, tmp_path / "out.jsonl") == \
+            baselines["columnar"][0]
+        counters = metrics.counters()
+        # Every day served straight from a mapped result shard: no
+        # input-shard load, no kernel pass, nothing recomputed.
+        assert counters.get("store.result_hits") == DAYS
+        assert counters.get("store.hits") is None
+        assert counters.get("store.writes") is None
+        assert counters.get("runner.cache.hits") == DAYS
 
     def test_store_is_shared_across_kernels_and_configs(
         self, factory, as2org, tmp_path
